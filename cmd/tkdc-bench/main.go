@@ -1,0 +1,49 @@
+// Command tkdc-bench regenerates the tables and figures of the paper's
+// evaluation section on synthetic stand-in datasets.
+//
+// Usage:
+//
+//	tkdc-bench -list
+//	tkdc-bench -experiment fig7 -scale 0.01
+//	tkdc-bench -experiment all -scale 0.005 -maxqueries 1000
+//
+// Scale 1 approaches paper-scale dataset sizes (hours of runtime); the
+// default 0.01 finishes on a laptop while preserving the result shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tkdc/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (tab2, tab3, fig7..fig16, or all)")
+		scale      = flag.Float64("scale", 0.01, "dataset size multiplier relative to the paper (0 < scale <= 1)")
+		maxQueries = flag.Int("maxqueries", 2000, "maximum measured queries per algorithm (throughput is extrapolated)")
+		seed       = flag.Int64("seed", 42, "random seed for dataset generation and training")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	opts := bench.Options{
+		Scale:      *scale,
+		MaxQueries: *maxQueries,
+		Seed:       *seed,
+		Out:        os.Stdout,
+	}
+	if _, err := bench.Run(*experiment, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "tkdc-bench:", err)
+		os.Exit(1)
+	}
+}

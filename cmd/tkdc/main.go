@@ -1,0 +1,139 @@
+// Command tkdc trains a thresholded kernel density classifier on a CSV
+// dataset and classifies query points, printing one label per query row.
+//
+// Usage:
+//
+//	tkdc -train data.csv                      # classify the training rows
+//	tkdc -train data.csv -query probes.csv    # classify separate queries
+//	tkdc -train data.csv -p 0.05 -density     # also print density bounds
+//	tkdc -train data.csv -save model.tkdc     # persist the trained model
+//	tkdc -load model.tkdc -query probes.csv   # serve queries, no retraining
+//
+// Output is CSV: label[,lower,upper] per query row, preceded by a summary
+// of the trained model on stderr.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"tkdc"
+	"tkdc/internal/dataset"
+)
+
+func main() {
+	var (
+		trainPath = flag.String("train", "", "training CSV (required unless -load)")
+		loadPath  = flag.String("load", "", "load a model saved with -save instead of training")
+		savePath  = flag.String("save", "", "save the trained model to this path")
+		queryPath = flag.String("query", "", "query CSV (default: classify the training rows)")
+		p         = flag.Float64("p", 0.01, "quantile classification rate p")
+		eps       = flag.Float64("epsilon", 0.01, "multiplicative classification error")
+		delta     = flag.Float64("delta", 0.01, "threshold bound failure probability")
+		bw        = flag.Float64("b", 1, "bandwidth scale factor (Scott's rule multiplier)")
+		workers   = flag.Int("workers", 1, "classification goroutines")
+		seed      = flag.Int64("seed", 42, "training seed")
+		density   = flag.Bool("density", false, "print density bounds alongside labels")
+	)
+	flag.Parse()
+	if (*trainPath == "") == (*loadPath == "") {
+		fmt.Fprintln(os.Stderr, "tkdc: exactly one of -train or -load is required")
+		os.Exit(2)
+	}
+
+	var clf *tkdc.Classifier
+	var queries [][]float64
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			fail(err)
+		}
+		clf, err = tkdc.Load(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		if *queryPath == "" {
+			fmt.Fprintln(os.Stderr, "tkdc: -load requires -query")
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "tkdc: loaded model (n=%d d=%d, threshold %.6g)\n",
+			clf.N(), clf.Dim(), clf.Threshold())
+	} else {
+		data, err := readCSVFile(*trainPath)
+		if err != nil {
+			fail(err)
+		}
+		queries = data
+
+		cfg := tkdc.DefaultConfig()
+		cfg.P = *p
+		cfg.Epsilon = *eps
+		cfg.Delta = *delta
+		cfg.BandwidthFactor = *bw
+		cfg.Workers = *workers
+		cfg.Seed = *seed
+
+		clf, err = tkdc.Train(data, cfg)
+		if err != nil {
+			fail(err)
+		}
+		ts := clf.TrainStats()
+		fmt.Fprintf(os.Stderr, "tkdc: trained on n=%d d=%d; threshold t(p=%g)=%.6g in [%.6g, %.6g]; %d bootstrap rounds\n",
+			ts.N, ts.Dim, *p, ts.Threshold, ts.ThresholdLow, ts.ThresholdHigh, ts.BootstrapRounds)
+		if *savePath != "" {
+			f, err := os.Create(*savePath)
+			if err != nil {
+				fail(err)
+			}
+			if err := clf.Save(f); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "tkdc: model saved to %s\n", *savePath)
+		}
+	}
+	if *queryPath != "" {
+		var err error
+		queries, err = readCSVFile(*queryPath)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for i, q := range queries {
+		if *density {
+			r, err := clf.Score(q)
+			if err != nil {
+				fail(fmt.Errorf("query %d: %w", i, err))
+			}
+			fmt.Fprintf(w, "%s,%g,%g\n", r.Label, r.Lower, r.Upper)
+			continue
+		}
+		label, err := clf.Classify(q)
+		if err != nil {
+			fail(fmt.Errorf("query %d: %w", i, err))
+		}
+		fmt.Fprintln(w, label)
+	}
+}
+
+func readCSVFile(path string) ([][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadCSV(f)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tkdc:", err)
+	os.Exit(1)
+}

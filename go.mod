@@ -1,0 +1,3 @@
+module tkdc
+
+go 1.22

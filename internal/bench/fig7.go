@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+
+	"tkdc/internal/core"
+	"tkdc/internal/dataset"
+)
+
+// fig7Panel is one dataset panel of Figure 7.
+type fig7Panel struct {
+	name   string
+	d      int
+	paperN int
+	floorN int
+	load   func(n int, seed int64) ([][]float64, error)
+	// binnedOK marks panels where the ks-style binned baseline applies
+	// (d ≤ 4).
+	binnedOK bool
+	// bandwidthFactor overrides b (the paper uses b = 3 for PCA-mnist).
+	bandwidthFactor float64
+}
+
+func fig7Panels() []fig7Panel {
+	return []fig7Panel{
+		{name: "gauss d=2", d: 2, paperN: 100_000_000, floorN: 20_000, binnedOK: true,
+			load: func(n int, seed int64) ([][]float64, error) { return dataset.Gauss(n, 2, seed), nil }},
+		{name: "tmy3 d=4", d: 4, paperN: 1_820_000, floorN: 10_000, binnedOK: true,
+			load: func(n int, seed int64) ([][]float64, error) { return dataset.TakeColumns(dataset.TMY3(n, seed), 4) }},
+		{name: "tmy3 d=8", d: 8, paperN: 1_820_000, floorN: 10_000,
+			load: func(n int, seed int64) ([][]float64, error) { return dataset.TMY3(n, seed), nil }},
+		{name: "home d=10", d: 10, paperN: 929_000, floorN: 8_000,
+			load: func(n int, seed int64) ([][]float64, error) { return dataset.Home(n, seed), nil }},
+		{name: "hep d=27", d: 27, paperN: 10_500_000, floorN: 6_000,
+			load: func(n int, seed int64) ([][]float64, error) { return dataset.HEP(n, seed), nil }},
+		{name: "sift d=64", d: 64, paperN: 11_200_000, floorN: 4_000,
+			load: func(n int, seed int64) ([][]float64, error) { return dataset.TakeColumns(dataset.SIFT(n, seed), 64) }},
+		{name: "mnist d=64", d: 64, paperN: 70_000, floorN: 3_000, bandwidthFactor: 3,
+			load: func(n int, seed int64) ([][]float64, error) {
+				return dataset.PCAReduce(dataset.MNIST(n, seed), 64, 3000, seed)
+			}},
+		{name: "mnist d=256", d: 256, paperN: 70_000, floorN: 2_000, bandwidthFactor: 3,
+			load: func(n int, seed int64) ([][]float64, error) {
+				return dataset.PCAReduce(dataset.MNIST(n, seed), 256, 3000, seed)
+			}},
+	}
+}
+
+// Figure7 measures end-to-end (training-amortized) classification
+// throughput for every algorithm on every dataset panel.
+func Figure7(opts Options) ([]Table, error) {
+	opts = opts.normalized()
+	t := Table{
+		Title:   "Figure 7: End-to-end throughput (queries/s, training amortized)",
+		Columns: []string{"dataset", "n", "d", "tkdc", "simple", "nocut(~sklearn)", "rkde", "binned(~ks)"},
+		Notes: []string{
+			"nocut reproduces scikit-learn's tolerance-only tree pruning; binned reproduces the ks package's binning (d<=4 only)",
+			"paper shape: tkdc leads everywhere except 2-d where ks binning wins; gap narrows in very high d",
+		},
+	}
+	for _, p := range fig7Panels() {
+		n := opts.scaled(p.paperN, p.floorN)
+		data, err := p.load(n, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		bw := p.bandwidthFactor
+		if bw == 0 {
+			bw = 1
+		}
+
+		cfg := core.DefaultConfig()
+		cfg.BandwidthFactor = bw
+		cfg.Seed = opts.Seed
+		tk, err := MeasureTKDC(data, cfg, opts.MaxQueries)
+		if err != nil {
+			return nil, fmt.Errorf("tkdc on %s: %w", p.name, err)
+		}
+
+		params := BaselineParams{BandwidthFactor: bw}
+		cells := []string{p.name, fmt.Sprintf("%d", n), fmt.Sprintf("%d", p.d), fmtRate(tk.EffectiveThroughput())}
+		for _, kind := range []BaselineKind{Simple, NoCut, RKDE, Binned} {
+			if kind == Binned && !p.binnedOK {
+				cells = append(cells, "-")
+				continue
+			}
+			// Baselines are slow; cap their measured queries harder.
+			q := opts.MaxQueries
+			if kind == Simple || kind == RKDE {
+				if q > 500 {
+					q = 500
+				}
+			}
+			m, err := MeasureBaseline(kind, data, params, q)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", kind, p.name, err)
+			}
+			cells = append(cells, fmtRate(m.EffectiveThroughput()))
+		}
+		t.AddRow(cells...)
+	}
+	t.Fprint(opts.Out)
+	return []Table{t}, nil
+}

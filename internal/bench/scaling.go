@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+
+	"tkdc/internal/core"
+	"tkdc/internal/dataset"
+)
+
+// sweepSizes returns geometric dataset sizes up to the scaled maximum.
+func sweepSizes(paperMax, floor int, opts Options) []int {
+	max := opts.scaled(paperMax, floor*4)
+	var sizes []int
+	for n := floor; n <= max; n *= 4 {
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 || sizes[len(sizes)-1] != max {
+		sizes = append(sizes, max)
+	}
+	return sizes
+}
+
+// scaleRunner measures query throughput (training excluded) for tkdc and
+// the O(n)-ish baselines on one dataset at each size.
+func scaleRunner(title, note string, sizes []int, load func(n int) ([][]float64, error), opts Options) (Table, error) {
+	t := Table{
+		Title:   title,
+		Columns: []string{"n", "tkdc q/s", "simple q/s", "nocut q/s", "rkde q/s", "tkdc kernels/q"},
+		Notes:   []string{note},
+	}
+	for _, n := range sizes {
+		data, err := load(n)
+		if err != nil {
+			return t, err
+		}
+		cfg := core.DefaultConfig()
+		cfg.Seed = opts.Seed
+		tk, err := MeasureTKDC(data, cfg, opts.MaxQueries)
+		if err != nil {
+			return t, err
+		}
+		cells := []string{fmt.Sprintf("%d", n), fmtRate(tk.QueryThroughput())}
+		for _, kind := range []BaselineKind{Simple, NoCut, RKDE} {
+			q := opts.MaxQueries
+			if kind != NoCut && q > 300 {
+				q = 300
+			}
+			m, err := MeasureBaseline(kind, data, BaselineParams{}, q)
+			if err != nil {
+				return t, err
+			}
+			cells = append(cells, fmtRate(m.QueryThroughput()))
+		}
+		cells = append(cells, fmtCount(tk.KernelsPerQuery))
+		t.AddRow(cells...)
+	}
+	return t, nil
+}
+
+// Figure9 sweeps dataset size on 2-d gauss data. The paper's shape:
+// tkdc's throughput decays ~n^{-1/2} while simple/rkde decay ~n^{-1}.
+func Figure9(opts Options) ([]Table, error) {
+	opts = opts.normalized()
+	sizes := sweepSizes(100_000_000, 10_000, opts)
+	t, err := scaleRunner(
+		"Figure 9: Query throughput vs dataset size (gauss, d=2, training excluded)",
+		"paper shape: tkdc decays ~n^-0.5, others ~n^-1; gap widens with n",
+		sizes,
+		func(n int) ([][]float64, error) { return dataset.Gauss(n, 2, opts.Seed), nil },
+		opts)
+	if err != nil {
+		return nil, err
+	}
+	t.Fprint(opts.Out)
+	return []Table{t}, nil
+}
+
+// Figure10 repeats the size sweep on the 27-dimensional hep data, where
+// tkdc's asymptotic edge (n^{26/27}) is slimmer but still real.
+func Figure10(opts Options) ([]Table, error) {
+	opts = opts.normalized()
+	sizes := sweepSizes(10_500_000, 5_000, opts)
+	t, err := scaleRunner(
+		"Figure 10: Query throughput vs dataset size (hep, d=27, training excluded)",
+		"paper shape: advantage smaller than d=2 (O(n^{26/27})) but grows with n",
+		sizes,
+		func(n int) ([][]float64, error) { return dataset.HEP(n, opts.Seed), nil },
+		opts)
+	if err != nil {
+		return nil, err
+	}
+	t.Fprint(opts.Out)
+	return []Table{t}, nil
+}
+
+// Figure11 sweeps dimensionality on hep column subsets at fixed n.
+func Figure11(opts Options) ([]Table, error) {
+	opts = opts.normalized()
+	n := opts.scaled(10_500_000, 15_000)
+	full := dataset.HEP(n, opts.Seed)
+	t := Table{
+		Title:   "Figure 11: Throughput vs dimensionality (hep, training amortized)",
+		Columns: []string{"d", "tkdc", "simple", "nocut(~sklearn)", "rkde"},
+		Notes:   []string{"paper shape: all tree methods slow with d; tkdc stays >=1 order ahead; simple nearly flat"},
+	}
+	for _, d := range []int{1, 2, 4, 8, 16, 27} {
+		data, err := dataset.TakeColumns(full, d)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConfig()
+		cfg.Seed = opts.Seed
+		tk, err := MeasureTKDC(data, cfg, opts.MaxQueries)
+		if err != nil {
+			return nil, err
+		}
+		cells := []string{fmt.Sprintf("%d", d), fmtRate(tk.EffectiveThroughput())}
+		for _, kind := range []BaselineKind{Simple, NoCut, RKDE} {
+			q := opts.MaxQueries
+			if kind != NoCut && q > 300 {
+				q = 300
+			}
+			m, err := MeasureBaseline(kind, data, BaselineParams{}, q)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, fmtRate(m.EffectiveThroughput()))
+		}
+		t.AddRow(cells...)
+	}
+	t.Fprint(opts.Out)
+	return []Table{t}, nil
+}
+
+// Figure14 sweeps dimensionality on PCA-reduced mnist. The PCA is fitted
+// once at the largest k; lower-dimensional panels reuse leading
+// components (they are nested by construction).
+func Figure14(opts Options) ([]Table, error) {
+	opts = opts.normalized()
+	n := opts.scaled(70_000, 3_000)
+	raw := dataset.MNIST(n, opts.Seed)
+	const kMax = 256
+	reduced, err := dataset.PCAReduce(raw, kMax, 3000, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		Title:   "Figure 14: Throughput vs dimensionality (mnist, PCA-reduced, b=3, training amortized)",
+		Columns: []string{"d", "tkdc", "simple", "nocut(~sklearn)", "rkde"},
+		Notes:   []string{"paper shape: tkdc competitive but its edge fades past d~100 at this small n; never worse than simple"},
+	}
+	for _, d := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+		data, err := dataset.TakeColumns(reduced, d)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConfig()
+		cfg.Seed = opts.Seed
+		cfg.BandwidthFactor = 3 // the paper's underflow mitigation for mnist
+		tk, err := MeasureTKDC(data, cfg, opts.MaxQueries)
+		if err != nil {
+			return nil, err
+		}
+		cells := []string{fmt.Sprintf("%d", d), fmtRate(tk.EffectiveThroughput())}
+		params := BaselineParams{BandwidthFactor: 3}
+		for _, kind := range []BaselineKind{Simple, NoCut, RKDE} {
+			q := opts.MaxQueries
+			if kind != NoCut && q > 300 {
+				q = 300
+			}
+			m, err := MeasureBaseline(kind, data, params, q)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, fmtRate(m.EffectiveThroughput()))
+		}
+		t.AddRow(cells...)
+	}
+	t.Fprint(opts.Out)
+	return []Table{t}, nil
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+
+	"tkdc/internal/core"
+	"tkdc/internal/dataset"
+)
+
+// Figure13 sweeps the rkde radius cutoff on 4-d tmy3-like data. Smaller
+// radii trade accuracy for speed; even generous speedups leave rkde far
+// behind tkdc (the paper's conclusion).
+func Figure13(opts Options) ([]Table, error) {
+	opts = opts.normalized()
+	n := opts.scaled(1_820_000, 15_000)
+	data, err := dataset.TakeColumns(dataset.TMY3(n, opts.Seed), 4)
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = opts.Seed
+	tk, err := MeasureTKDC(data, cfg, opts.MaxQueries)
+	if err != nil {
+		return nil, err
+	}
+
+	t := Table{
+		Title:   "Figure 13: rkde throughput vs radius cutoff (tmy3-like, d=4)",
+		Columns: []string{"radius (bandwidths)", "rkde q/s", "rkde kernels/q"},
+		Notes: []string{
+			fmt.Sprintf("tkdc reference: %s q/s at %s kernels/q", fmtRate(tk.QueryThroughput()), fmtCount(tk.KernelsPerQuery)),
+			"paper shape: rkde improves as the radius shrinks but stays orders of magnitude behind tkdc; small radii lose accuracy",
+		},
+	}
+	for _, radius := range []float64{0.5, 1, 1.5, 2, 3, 4, 5} {
+		q := opts.MaxQueries
+		if q > 500 {
+			q = 500
+		}
+		m, err := MeasureBaseline(RKDE, data, BaselineParams{Radius: radius}, q)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.1f", radius), fmtRate(m.QueryThroughput()), fmtCount(m.KernelsPerQuery))
+	}
+	t.Fprint(opts.Out)
+	return []Table{t}, nil
+}
+
+// Figure15 sweeps the quantile threshold p. Throughput peaks at extreme
+// quantiles (few near-threshold points) and dips in the middle, per the
+// runtime's dependence on q'(t) (Appendix A).
+func Figure15(opts Options) ([]Table, error) {
+	opts = opts.normalized()
+	n := opts.scaled(1_820_000, 15_000)
+	data, err := dataset.TakeColumns(dataset.TMY3(n, opts.Seed), 4)
+	if err != nil {
+		return nil, err
+	}
+
+	t := Table{
+		Title:   "Figure 15: tkdc throughput vs quantile threshold p (tmy3-like, d=4, training amortized)",
+		Columns: []string{"p", "tkdc q/s", "tkdc kernels/q"},
+	}
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		cfg := core.DefaultConfig()
+		cfg.P = p
+		cfg.Seed = opts.Seed
+		tk, err := MeasureTKDC(data, cfg, opts.MaxQueries)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.2f", p), fmtRate(tk.EffectiveThroughput()), fmtCount(tk.KernelsPerQuery))
+	}
+
+	// Flat references, measured once: simple and nocut don't depend on p.
+	for _, kind := range []BaselineKind{Simple, NoCut} {
+		q := opts.MaxQueries
+		if kind == Simple && q > 300 {
+			q = 300
+		}
+		m, err := MeasureBaseline(kind, data, BaselineParams{}, q)
+		if err != nil {
+			return nil, err
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf("%s reference (p-independent): %s q/s", kind, fmtRate(m.EffectiveThroughput())))
+	}
+	t.Notes = append(t.Notes, "paper shape: fastest at extreme p (few near-threshold points), slowest mid-range; always above sklearn/simple")
+	t.Fprint(opts.Out)
+	return []Table{t}, nil
+}

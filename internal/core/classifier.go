@@ -1,0 +1,486 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tkdc/internal/grid"
+	"tkdc/internal/kdtree"
+	"tkdc/internal/kernel"
+	"tkdc/internal/stats"
+)
+
+// Label is a density classification outcome.
+type Label int
+
+const (
+	// Low marks a point whose density is below the threshold (an outlier
+	// for small p).
+	Low Label = iota
+	// High marks a point whose density is above the threshold.
+	High
+)
+
+// String returns "LOW" or "HIGH", matching the paper's notation.
+func (l Label) String() string {
+	if l == High {
+		return "HIGH"
+	}
+	return "LOW"
+}
+
+// Result carries a classification together with the certified density
+// bounds it was derived from and the work performed.
+type Result struct {
+	Label Label
+	// Lower and Upper bound the kernel density at the query point. When
+	// the grid cache answered, Lower is the grid bound and Upper is +Inf.
+	Lower, Upper float64
+	Stats        QueryStats
+}
+
+// Estimate returns the density point estimate (fl+fu)/2 used for
+// classification, or Lower when the upper bound is infinite (grid hits).
+func (r Result) Estimate() float64 {
+	if math.IsInf(r.Upper, 1) {
+		return r.Lower
+	}
+	return 0.5 * (r.Lower + r.Upper)
+}
+
+// Counters aggregates work across queries. Values are totals since Train.
+type Counters struct {
+	Queries      int64
+	GridHits     int64
+	PointKernels int64
+	BoundKernels int64
+	NodesVisited int64
+}
+
+// Kernels returns total kernel evaluations, point and bound combined.
+func (c Counters) Kernels() int64 { return c.PointKernels + c.BoundKernels }
+
+// TrainStats describes the training phase.
+type TrainStats struct {
+	N, Dim          int
+	Bandwidths      []float64
+	ThresholdLow    float64 // t(p) lower bound from Algorithm 3
+	ThresholdHigh   float64 // t(p) upper bound from Algorithm 3
+	Threshold       float64 // refined estimate t̃(p)
+	BootstrapRounds int
+	// TrainKernels counts kernel evaluations spent in training (bootstrap
+	// plus the full-dataset density pass).
+	TrainKernels int64
+	GridEnabled  bool
+	GridCells    int
+}
+
+// Classifier is a trained tKDC model. It is immutable after Train and
+// safe for concurrent queries.
+type Classifier struct {
+	cfg  Config
+	dim  int
+	data [][]float64
+
+	kern        kernel.Kernel
+	tree        *kdtree.Tree
+	grid        *grid.Grid
+	gridKDiag   float64
+	tLow, tHigh float64
+	threshold   float64
+	selfContrib float64
+
+	train TrainStats
+
+	estPool sync.Pool
+
+	queries      atomic.Int64
+	gridHits     atomic.Int64
+	pointKernels atomic.Int64
+	boundKernels atomic.Int64
+	nodesVisited atomic.Int64
+}
+
+// Train fits a tKDC classifier to the dataset: it bootstraps threshold
+// bounds (Algorithm 3), builds the spatial index and grid cache, scores
+// every training point to refine the threshold to t̃(p), and returns a
+// classifier ready to serve queries (Algorithm 1).
+//
+// The point slices are referenced, not copied; callers must not mutate
+// them afterwards.
+func Train(data [][]float64, cfg Config) (*Classifier, error) {
+	cfg = cfg.normalized()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, errors.New("core: empty training dataset")
+	}
+	dim := len(data[0])
+	if dim == 0 {
+		return nil, errors.New("core: zero-dimensional training data")
+	}
+	for i, row := range data {
+		if len(row) != dim {
+			return nil, fmt.Errorf("core: row %d has dimension %d, want %d", i, len(row), dim)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("core: row %d coordinate %d is %v", i, j, v)
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Phase 1: probabilistic threshold bounds (Algorithm 3).
+	tb, err := boundThreshold(data, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: full index, kernel, and grid.
+	h, err := kernel.ScottBandwidths(data, cfg.BandwidthFactor)
+	if err != nil {
+		return nil, err
+	}
+	kern, err := newKernel(cfg.Kernel, h)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := kdtree.Build(data, kdtree.Options{LeafSize: cfg.LeafSize, Split: cfg.Split})
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Classifier{
+		cfg:         cfg,
+		dim:         dim,
+		data:        data,
+		kern:        kern,
+		tree:        tree,
+		tLow:        tb.lo,
+		tHigh:       tb.hi,
+		selfContrib: kern.AtZero() / float64(len(data)),
+	}
+	c.estPool.New = func() any {
+		return newDensityEstimator(c.tree, c.kern, cfg.DisableThresholdRule, cfg.DisableToleranceRule)
+	}
+	if !cfg.DisableGrid && dim <= cfg.MaxGridDim {
+		g, err := grid.New(data, h)
+		if err != nil {
+			return nil, err
+		}
+		c.grid = g
+		c.gridKDiag = kern.FromScaledSqDist(g.DiagSqScaled(kern.InvBandwidthsSq()))
+	}
+
+	// Phase 3: score all training points to refine t̃(p) (Algorithm 1).
+	// If δ struck and the bootstrap bounds were invalid, detect it (t̃
+	// escaping [t_low, t_high]) and retry with widened bounds (§3.6).
+	trainKernels := tb.queries.Kernels()
+	tl, tu := c.tLow, c.tHigh
+	const maxAttempts = 4
+	for attempt := 0; ; attempt++ {
+		densities, passStats := c.trainingDensities(tl, tu)
+		trainKernels += passStats.Kernels()
+		sort.Float64s(densities)
+		t, qerr := stats.SortedQuantile(densities, cfg.P)
+		if qerr != nil {
+			return nil, qerr
+		}
+		hiOK := t <= tu || math.IsInf(tu, 1)
+		loOK := t >= tl || tl <= 0
+		if hiOK && loOK {
+			c.threshold = t
+			break
+		}
+		if attempt == maxAttempts {
+			return nil, fmt.Errorf("core: threshold estimate %g escaped bootstrap bounds [%g, %g] after %d attempts", t, c.tLow, c.tHigh, attempt)
+		}
+		tl = scaleTowardZero(tl, cfg.HBackoff)
+		tu = scaleTowardInf(tu, cfg.HBackoff)
+		if tu <= 0 {
+			tu = math.Inf(1)
+		}
+	}
+
+	c.train = TrainStats{
+		N:               len(data),
+		Dim:             dim,
+		Bandwidths:      h,
+		ThresholdLow:    c.tLow,
+		ThresholdHigh:   c.tHigh,
+		Threshold:       c.threshold,
+		BootstrapRounds: tb.rounds,
+		TrainKernels:    trainKernels,
+		GridEnabled:     c.grid != nil,
+	}
+	if c.grid != nil {
+		c.train.GridCells = c.grid.Cells()
+	}
+	return c, nil
+}
+
+// trainingDensities scores every training point against threshold bounds
+// (tl, tu), returning self-contribution-corrected density estimates.
+func (c *Classifier) trainingDensities(tl, tu float64) ([]float64, QueryStats) {
+	n := len(c.data)
+	densities := make([]float64, n)
+	workers := c.cfg.Workers
+	if workers < 2 {
+		est := c.getEstimator()
+		defer c.putEstimator(est)
+		var qs QueryStats
+		for i, x := range c.data {
+			densities[i] = c.trainingDensityOne(est, x, tl, tu, &qs)
+		}
+		return densities, qs
+	}
+
+	if workers > runtime.GOMAXPROCS(0)*4 {
+		workers = runtime.GOMAXPROCS(0) * 4
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var total QueryStats
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			est := c.getEstimator()
+			defer c.putEstimator(est)
+			var qs QueryStats
+			for i := lo; i < hi; i++ {
+				densities[i] = c.trainingDensityOne(est, c.data[i], tl, tu, &qs)
+			}
+			mu.Lock()
+			total.add(qs)
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	return densities, total
+}
+
+// trainingDensityOne scores one training point for the threshold pass.
+// Grid-pruned points record their (certified) lower bound, which keeps
+// their rank above any threshold inside the bootstrap bounds. The grid
+// bound is corrected for the point's self-contribution before comparing,
+// because the bootstrap bounds live in corrected-density space.
+func (c *Classifier) trainingDensityOne(est *densityEstimator, x []float64, tl, tu float64, qs *QueryStats) float64 {
+	if c.grid != nil && !math.IsInf(tu, 1) {
+		if lb := c.grid.LowerBoundDensity(x, c.gridKDiag) - c.selfContrib; lb > tu {
+			qs.GridHit = true
+			return lb
+		}
+	}
+	// tl and tu bound the corrected quantile; pruning operates on plain
+	// densities, so shift by the self-contribution.
+	tolCut := c.cfg.Epsilon * math.Max(tl, 0)
+	fl, fu := est.boundDensity(x, tl+c.selfContrib, tu+c.selfContrib, tolCut, qs)
+	return 0.5*(fl+fu) - c.selfContrib
+}
+
+// Classify labels one query point against the trained threshold.
+func (c *Classifier) Classify(x []float64) (Label, error) {
+	r, err := c.Score(x)
+	return r.Label, err
+}
+
+// Score labels one query point and returns the density bounds behind the
+// decision (Algorithm 1's Classify with the Section 3.7 grid check).
+func (c *Classifier) Score(x []float64) (Result, error) {
+	if err := c.checkQuery(x); err != nil {
+		return Result{}, err
+	}
+	c.queries.Add(1)
+
+	if c.grid != nil {
+		if lb := c.grid.LowerBoundDensity(x, c.gridKDiag); lb > c.threshold {
+			c.gridHits.Add(1)
+			return Result{
+				Label: High,
+				Lower: lb,
+				Upper: math.Inf(1),
+				Stats: QueryStats{GridHit: true},
+			}, nil
+		}
+	}
+
+	est := c.getEstimator()
+	var qs QueryStats
+	fl, fu := est.boundDensity(x, c.threshold, c.threshold, c.cfg.Epsilon*c.threshold, &qs)
+	c.putEstimator(est)
+	c.accumulate(qs)
+
+	label := Low
+	if 0.5*(fl+fu) > c.threshold {
+		label = High
+	}
+	return Result{Label: label, Lower: fl, Upper: fu, Stats: qs}, nil
+}
+
+// ClassifyAll labels a batch of query points, fanning out across
+// Config.Workers goroutines when configured. The result order matches the
+// input order.
+func (c *Classifier) ClassifyAll(points [][]float64) ([]Label, error) {
+	for i, x := range points {
+		if err := c.checkQuery(x); err != nil {
+			return nil, fmt.Errorf("core: query %d: %w", i, err)
+		}
+	}
+	out := make([]Label, len(points))
+	workers := c.cfg.Workers
+	if workers < 2 || len(points) < 2*workers {
+		for i, x := range points {
+			r, err := c.Score(x)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r.Label
+		}
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	chunk := (len(points) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(points) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(points) {
+			hi = len(points)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				r, err := c.Score(points[i])
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				out[i] = r.Label
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DensityBounds estimates the density at x to relative precision rel
+// (fu − fl ≤ rel·fl), ignoring the threshold. Use it when actual density
+// values are needed (p-values, contour levels) rather than
+// classifications. rel ≤ 0 computes the density exactly.
+func (c *Classifier) DensityBounds(x []float64, rel float64) (fl, fu float64, err error) {
+	if err := c.checkQuery(x); err != nil {
+		return 0, 0, err
+	}
+	est := c.getEstimator()
+	var qs QueryStats
+	fl, fu = est.estimateDensity(x, rel, &qs)
+	c.putEstimator(est)
+	c.accumulate(qs)
+	c.queries.Add(1)
+	return fl, fu, nil
+}
+
+// Threshold returns the refined classification threshold t̃(p).
+func (c *Classifier) Threshold() float64 { return c.threshold }
+
+// ThresholdBounds returns the probabilistic bounds (t_low, t_high) on
+// t(p) computed by the bootstrap, valid with probability ≥ 1−δ.
+func (c *Classifier) ThresholdBounds() (lo, hi float64) { return c.tLow, c.tHigh }
+
+// SelfContribution returns K_H(0)/n, the density a training point
+// contributes to itself (subtracted when estimating t(p), Section 2.3).
+func (c *Classifier) SelfContribution() float64 { return c.selfContrib }
+
+// Bandwidths returns the per-dimension kernel bandwidths in use.
+func (c *Classifier) Bandwidths() []float64 { return c.kern.Bandwidths() }
+
+// Dim returns the data dimensionality.
+func (c *Classifier) Dim() int { return c.dim }
+
+// N returns the training set size.
+func (c *Classifier) N() int { return len(c.data) }
+
+// TrainStats reports how training went.
+func (c *Classifier) TrainStats() TrainStats { return c.train }
+
+// Stats returns a snapshot of the work counters accumulated by queries
+// since training (training work is in TrainStats).
+func (c *Classifier) Stats() Counters {
+	return Counters{
+		Queries:      c.queries.Load(),
+		GridHits:     c.gridHits.Load(),
+		PointKernels: c.pointKernels.Load(),
+		BoundKernels: c.boundKernels.Load(),
+		NodesVisited: c.nodesVisited.Load(),
+	}
+}
+
+func (c *Classifier) accumulate(qs QueryStats) {
+	if qs.PointKernels != 0 {
+		c.pointKernels.Add(qs.PointKernels)
+	}
+	if qs.BoundKernels != 0 {
+		c.boundKernels.Add(qs.BoundKernels)
+	}
+	if qs.NodesVisited != 0 {
+		c.nodesVisited.Add(qs.NodesVisited)
+	}
+}
+
+func (c *Classifier) checkQuery(x []float64) error {
+	if len(x) != c.dim {
+		return fmt.Errorf("core: query has dimension %d, want %d", len(x), c.dim)
+	}
+	for j, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: query coordinate %d is %v", j, v)
+		}
+	}
+	return nil
+}
+
+func (c *Classifier) getEstimator() *densityEstimator {
+	return c.estPool.Get().(*densityEstimator)
+}
+
+func (c *Classifier) putEstimator(e *densityEstimator) {
+	c.estPool.Put(e)
+}
+
+// newKernel builds the configured kernel family over bandwidths h.
+func newKernel(family KernelFamily, h []float64) (kernel.Kernel, error) {
+	switch family {
+	case KernelGaussian:
+		return kernel.NewGaussian(h)
+	case KernelEpanechnikov:
+		return kernel.NewEpanechnikov(h)
+	default:
+		return nil, fmt.Errorf("core: unknown kernel family %v", family)
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueries hammers one classifier from many goroutines; run
+// with -race to verify the immutable-after-train contract.
+func TestConcurrentQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	data := gauss2D(rng, 1200)
+	c, err := Train(data, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				q := []float64{r.NormFloat64() * 3, r.NormFloat64() * 3}
+				if _, err := c.Score(q); err != nil {
+					errs <- err
+					return
+				}
+				if i%50 == 0 {
+					if _, _, err := c.DensityBounds(q, 0.05); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Queries; got != goroutines*(200+4) {
+		t.Fatalf("Queries = %d, want %d", got, goroutines*(200+4))
+	}
+}

@@ -1,0 +1,159 @@
+// Package core implements tKDC, thresholded kernel density classification
+// (Gan & Bailis, SIGMOD 2017): Algorithm 1 (training and classification),
+// Algorithm 2 (BoundDensity with the threshold and tolerance pruning
+// rules), and Algorithm 3 (the bootstrapped quantile-threshold bound),
+// plus the grid and equi-width-tree optimizations of Section 3.7.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tkdc/internal/kdtree"
+)
+
+// KernelFamily selects the kernel used by the density estimate.
+type KernelFamily int
+
+const (
+	// KernelGaussian is the paper's default (Equation 2).
+	KernelGaussian KernelFamily = iota
+	// KernelEpanechnikov is a finite-support alternative (extension).
+	KernelEpanechnikov
+)
+
+// String returns the family name.
+func (k KernelFamily) String() string {
+	switch k {
+	case KernelGaussian:
+		return "gaussian"
+	case KernelEpanechnikov:
+		return "epanechnikov"
+	default:
+		return fmt.Sprintf("KernelFamily(%d)", int(k))
+	}
+}
+
+// Config carries the density-classification task parameters of Table 1
+// together with the implementation knobs of Sections 3.5 and 3.7. The
+// zero value is not valid; start from DefaultConfig.
+type Config struct {
+	// P is the quantile classification rate p: the threshold t(p) is the
+	// p-quantile of the (self-contribution-corrected) training densities.
+	P float64
+	// Epsilon is the multiplicative classification error ε: behaviour is
+	// undefined only for densities within ±ε·t of the threshold.
+	Epsilon float64
+	// Delta is the acceptable failure probability δ of the sampled
+	// threshold bound.
+	Delta float64
+	// BandwidthFactor is the scale factor b applied to Scott's rule.
+	BandwidthFactor float64
+	// Kernel selects the kernel family.
+	Kernel KernelFamily
+
+	// LeafSize caps k-d tree leaf occupancy (kdtree.DefaultLeafSize if 0).
+	LeafSize int
+	// Split selects the k-d tree split rule. The paper's tKDC default is
+	// the trimmed-midpoint "equi-width" rule.
+	Split kdtree.SplitRule
+
+	// DisableThresholdRule turns off the threshold pruning rule
+	// (Equation 9) — the heart of tKDC — for factor/lesion analysis.
+	DisableThresholdRule bool
+	// DisableToleranceRule turns off the tolerance pruning rule
+	// (Equation 8) for factor/lesion analysis.
+	DisableToleranceRule bool
+	// DisableGrid turns off the hypergrid inlier cache.
+	DisableGrid bool
+	// MaxGridDim is the largest dimensionality at which the grid is kept
+	// (the paper disables it above 4). Defaults to 4 if 0.
+	MaxGridDim int
+
+	// Bootstrap parameters of Algorithm 3. Zero values take the paper's
+	// defaults: R0 = 200, S0 = 20000, HBackoff = 4, HBuffer = 1.5,
+	// HGrowth = 4.
+	R0       int
+	S0       int
+	HBackoff float64
+	HBuffer  float64
+	HGrowth  float64
+
+	// Seed drives the sampling in threshold bootstrapping; training is
+	// fully deterministic for a fixed seed.
+	Seed int64
+
+	// Workers sets the number of goroutines used by ClassifyAll and by
+	// the training density pass; values below 2 mean single-threaded,
+	// matching the paper's prototype.
+	Workers int
+}
+
+// DefaultConfig returns the parameter defaults of Table 1: p = 0.01,
+// ε = 0.01, δ = 0.01, b = 1, Gaussian kernel, equi-width tree, grid
+// enabled up to 4 dimensions.
+func DefaultConfig() Config {
+	return Config{
+		P:               0.01,
+		Epsilon:         0.01,
+		Delta:           0.01,
+		BandwidthFactor: 1,
+		Kernel:          KernelGaussian,
+		Split:           kdtree.SplitEquiWidth,
+		MaxGridDim:      4,
+		R0:              200,
+		S0:              20000,
+		HBackoff:        4,
+		HBuffer:         1.5,
+		HGrowth:         4,
+	}
+}
+
+// normalized returns a copy with zero-valued knobs replaced by defaults.
+func (c Config) normalized() Config {
+	d := DefaultConfig()
+	if c.MaxGridDim == 0 {
+		c.MaxGridDim = d.MaxGridDim
+	}
+	if c.R0 == 0 {
+		c.R0 = d.R0
+	}
+	if c.S0 == 0 {
+		c.S0 = d.S0
+	}
+	if c.HBackoff == 0 {
+		c.HBackoff = d.HBackoff
+	}
+	if c.HBuffer == 0 {
+		c.HBuffer = d.HBuffer
+	}
+	if c.HGrowth == 0 {
+		c.HGrowth = d.HGrowth
+	}
+	return c
+}
+
+// validate rejects out-of-range parameters.
+func (c Config) validate() error {
+	switch {
+	case math.IsNaN(c.P) || c.P <= 0 || c.P >= 1:
+		return fmt.Errorf("core: quantile P = %v must be in (0, 1)", c.P)
+	case math.IsNaN(c.Epsilon) || c.Epsilon <= 0:
+		return fmt.Errorf("core: Epsilon = %v must be positive", c.Epsilon)
+	case math.IsNaN(c.Delta) || c.Delta <= 0 || c.Delta >= 1:
+		return fmt.Errorf("core: Delta = %v must be in (0, 1)", c.Delta)
+	case math.IsNaN(c.BandwidthFactor) || c.BandwidthFactor <= 0:
+		return fmt.Errorf("core: BandwidthFactor = %v must be positive", c.BandwidthFactor)
+	case c.R0 < 1:
+		return fmt.Errorf("core: R0 = %d must be at least 1", c.R0)
+	case c.S0 < 1:
+		return fmt.Errorf("core: S0 = %d must be at least 1", c.S0)
+	case c.HBackoff <= 1:
+		return fmt.Errorf("core: HBackoff = %v must exceed 1", c.HBackoff)
+	case c.HBuffer < 1:
+		return fmt.Errorf("core: HBuffer = %v must be at least 1", c.HBuffer)
+	case c.HGrowth <= 1:
+		return fmt.Errorf("core: HGrowth = %v must exceed 1", c.HGrowth)
+	}
+	return nil
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"tkdc/internal/kdtree"
+	"tkdc/internal/kernel"
+)
+
+// QueryStats counts the work one density query performed.
+type QueryStats struct {
+	// PointKernels counts kernel evaluations against individual training
+	// points (leaf expansion).
+	PointKernels int64
+	// BoundKernels counts kernel evaluations against bounding boxes (two
+	// per node considered).
+	BoundKernels int64
+	// NodesVisited counts k-d tree nodes popped from the priority queue.
+	NodesVisited int64
+	// GridHit records whether the hypergrid cache answered the query
+	// before any tree traversal.
+	GridHit bool
+}
+
+// Kernels returns the total kernel evaluations, point and bound combined —
+// the quantity Figures 12 and 16 report as "Kernel Evaluations / pt".
+func (q QueryStats) Kernels() int64 { return q.PointKernels + q.BoundKernels }
+
+func (q *QueryStats) add(o QueryStats) {
+	q.PointKernels += o.PointKernels
+	q.BoundKernels += o.BoundKernels
+	q.NodesVisited += o.NodesVisited
+	if o.GridHit {
+		q.GridHit = true
+	}
+}
+
+// heapItem is one k-d tree node awaiting refinement, with its current
+// contribution to the density bounds.
+type heapItem struct {
+	node *kdtree.Node
+	wlo  float64 // minimum contribution: count/n · K(d_max)
+	whi  float64 // maximum contribution: count/n · K(d_min)
+}
+
+// refineHeap is a max-heap on whi−wlo (scaled by the node's count via the
+// weights themselves), prioritizing the node with the largest potential to
+// tighten the total bound (Section 3.4).
+type refineHeap struct {
+	items []heapItem
+}
+
+func (h *refineHeap) len() int { return len(h.items) }
+
+func (h *refineHeap) push(it heapItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].priority() >= h.items[i].priority() {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *refineHeap) pop() heapItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(h.items) && h.items[l].priority() > h.items[largest].priority() {
+			largest = l
+		}
+		if r < len(h.items) && h.items[r].priority() > h.items[largest].priority() {
+			largest = r
+		}
+		if largest == i {
+			return top
+		}
+		h.items[i], h.items[largest] = h.items[largest], h.items[i]
+		i = largest
+	}
+}
+
+func (it heapItem) priority() float64 { return it.whi - it.wlo }
+
+// densityEstimator bounds kernel densities over one index. It is the
+// reusable engine behind both the classifier and the threshold bootstrap.
+// Not safe for concurrent use: callers create one per goroutine (the
+// underlying tree and kernel are shared and immutable).
+type densityEstimator struct {
+	tree  *kdtree.Tree
+	kern  kernel.Kernel
+	invH2 []float64
+	n     float64
+	heap  refineHeap
+
+	disableThreshold bool
+	disableTolerance bool
+}
+
+func newDensityEstimator(tree *kdtree.Tree, kern kernel.Kernel, disableThreshold, disableTolerance bool) *densityEstimator {
+	return &densityEstimator{
+		tree:             tree,
+		kern:             kern,
+		invH2:            kern.InvBandwidthsSq(),
+		n:                float64(tree.Size),
+		disableThreshold: disableThreshold,
+		disableTolerance: disableTolerance,
+	}
+}
+
+// weights returns the minimum and maximum possible density contribution of
+// a node's region to a query at x (Equation 6).
+func (e *densityEstimator) weights(n *kdtree.Node, x []float64) (wlo, whi float64) {
+	frac := float64(n.Count) / e.n
+	wlo = frac * e.kern.FromScaledSqDist(n.MaxSqDist(x, e.invH2))
+	whi = frac * e.kern.FromScaledSqDist(n.MinSqDist(x, e.invH2))
+	return wlo, whi
+}
+
+// boundDensity is Algorithm 2: it refines density bounds for x until a
+// pruning rule fires or the tree is exhausted, returning certified bounds
+// fl ≤ f(x) ≤ fu.
+//
+// The threshold rule stops once fl > tu or fu < tl — the classification
+// is already decided. The tolerance rule stops once fu − fl < tolCut —
+// the estimate is as precise as approximate classification requires
+// (callers pass ε·t). With both rules disabled the traversal computes
+// the density exactly (up to floating point), which is the
+// factor-analysis baseline of Figure 12.
+func (e *densityEstimator) boundDensity(x []float64, tl, tu, tolCut float64, stats *QueryStats) (fl, fu float64) {
+	e.heap.items = e.heap.items[:0]
+
+	wlo, whi := e.weights(e.tree.Root, x)
+	stats.BoundKernels += 2
+	fl, fu = wlo, whi
+	e.heap.push(heapItem{node: e.tree.Root, wlo: wlo, whi: whi})
+
+	for e.heap.len() > 0 {
+		if !e.disableThreshold {
+			if fl > tu || fu < tl {
+				break
+			}
+		}
+		if !e.disableTolerance && fu-fl < tolCut {
+			break
+		}
+
+		cur := e.heap.pop()
+		stats.NodesVisited++
+		fl -= cur.wlo
+		fu -= cur.whi
+
+		if cur.node.IsLeaf() {
+			sum := 0.0
+			for _, p := range cur.node.Points {
+				sum += e.kern.FromScaledSqDist(kernel.ScaledSqDist(x, p, e.invH2))
+			}
+			stats.PointKernels += int64(len(cur.node.Points))
+			sum /= e.n
+			fl += sum
+			fu += sum
+			continue
+		}
+		for _, child := range []*kdtree.Node{cur.node.Left, cur.node.Right} {
+			cwlo, cwhi := e.weights(child, x)
+			stats.BoundKernels += 2
+			if cwhi == 0 {
+				// The whole subtree is beyond the kernel's truncation
+				// radius: it can never contribute, so skip the heap.
+				continue
+			}
+			fl += cwlo
+			fu += cwhi
+			e.heap.push(heapItem{node: child, wlo: cwlo, whi: cwhi})
+		}
+	}
+	// Guard against floating-point drift pushing the bounds negative or
+	// inverting them.
+	if fl < 0 {
+		fl = 0
+	}
+	if fu < fl {
+		fu = fl
+	}
+	return fl, fu
+}
+
+// estimateDensity computes the density with bounds tightened to a target
+// relative precision (fu − fl ≤ rel·fl) regardless of any threshold,
+// exhausting the tree if necessary. This is the tolerance-only traversal
+// of Gray & Moore used by the nocut baseline and by callers that need
+// density values rather than classifications.
+func (e *densityEstimator) estimateDensity(x []float64, rel float64, stats *QueryStats) (fl, fu float64) {
+	e.heap.items = e.heap.items[:0]
+
+	wlo, whi := e.weights(e.tree.Root, x)
+	stats.BoundKernels += 2
+	fl, fu = wlo, whi
+	e.heap.push(heapItem{node: e.tree.Root, wlo: wlo, whi: whi})
+
+	for e.heap.len() > 0 {
+		if rel > 0 && fu-fl <= rel*fl {
+			break
+		}
+		cur := e.heap.pop()
+		stats.NodesVisited++
+		fl -= cur.wlo
+		fu -= cur.whi
+		if cur.node.IsLeaf() {
+			sum := 0.0
+			for _, p := range cur.node.Points {
+				sum += e.kern.FromScaledSqDist(kernel.ScaledSqDist(x, p, e.invH2))
+			}
+			stats.PointKernels += int64(len(cur.node.Points))
+			sum /= e.n
+			fl += sum
+			fu += sum
+			continue
+		}
+		for _, child := range []*kdtree.Node{cur.node.Left, cur.node.Right} {
+			cwlo, cwhi := e.weights(child, x)
+			stats.BoundKernels += 2
+			if cwhi == 0 {
+				// The whole subtree is beyond the kernel's truncation
+				// radius: it can never contribute, so skip the heap.
+				continue
+			}
+			fl += cwlo
+			fu += cwhi
+			e.heap.push(heapItem{node: child, wlo: cwlo, whi: cwhi})
+		}
+	}
+	if fl < 0 {
+		fl = 0
+	}
+	if fu < fl {
+		fu = fl
+	}
+	return fl, fu
+}
+
+// exactDensity sums every kernel contribution directly (the "simple"
+// baseline's inner loop, also used by tests as ground truth).
+func exactDensity(points [][]float64, kern kernel.Kernel, x []float64) float64 {
+	invH2 := kern.InvBandwidthsSq()
+	sum := 0.0
+	for _, p := range points {
+		sum += kern.FromScaledSqDist(kernel.ScaledSqDist(x, p, invH2))
+	}
+	return sum / float64(len(points))
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tkdc/internal/kernel"
+)
+
+// TestDualTreeMatchesPerQuery: dual-tree labels must agree with Score's
+// labels for every point whose exact density is outside the ε band.
+func TestDualTreeMatchesPerQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	data := gauss2D(rng, 3000)
+	cfg := testConfig()
+	c, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([][]float64, 2000)
+	for i := range queries {
+		queries[i] = []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+	}
+	dual, err := c.ClassifyAllDualTree(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h, _ := kernel.ScottBandwidths(data, 1)
+	kern, _ := kernel.NewGaussian(h)
+	band := 2 * cfg.Epsilon * c.Threshold()
+	for i, q := range queries {
+		f := exactDensity(data, kern, q)
+		if math.Abs(f-c.Threshold()) <= band {
+			continue
+		}
+		want := Low
+		if f > c.Threshold() {
+			want = High
+		}
+		if dual[i] != want {
+			t.Fatalf("query %d (%v, density %g): dual-tree %v, want %v (threshold %g)",
+				i, q, f, dual[i], want, c.Threshold())
+		}
+	}
+}
+
+// TestDualTreeGridEvaluation: on a dense evaluation grid — the Figure 1/2
+// rendering workload — dual-tree classification must agree with
+// per-query classification and certify most cells in groups.
+func TestDualTreeGridEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	data := gauss2D(rng, 4000)
+	cfg := testConfig()
+	cfg.DisableGrid = true // make savings attributable to grouping
+	c, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var queries [][]float64
+	for x := -10.0; x <= 10; x += 0.1 {
+		for y := -10.0; y <= 10; y += 0.1 {
+			queries = append(queries, []float64{x, y})
+		}
+	}
+	before := c.Stats()
+	dual, err := c.ClassifyAllDualTree(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dualKernels := c.Stats().Kernels() - before.Kernels()
+
+	single := make([]Label, len(queries))
+	before = c.Stats()
+	for i, q := range queries {
+		r, err := c.Score(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single[i] = r.Label
+	}
+	singleKernels := c.Stats().Kernels() - before.Kernels()
+
+	disagreements := 0
+	for i := range queries {
+		if dual[i] != single[i] {
+			disagreements++
+		}
+	}
+	// Disagreements are only legitimate inside the ε band — a thin
+	// contour of the evaluation grid.
+	if disagreements > len(queries)/50 {
+		t.Fatalf("%d of %d grid cells disagree between dual-tree and per-query", disagreements, len(queries))
+	}
+	// Group certification should remove a solid fraction of the kernel
+	// work (the near-contour queries are irreducible, which caps the
+	// gain; see the ClassifyAllDualTree doc comment).
+	if float64(dualKernels)*1.15 > float64(singleKernels) {
+		t.Fatalf("dual-tree saved too little: %d vs %d kernel evaluations", dualKernels, singleKernels)
+	}
+}
+
+func TestDualTreeEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	data := gauss2D(rng, 800)
+	c, err := Train(data, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty batch.
+	out, err := c.ClassifyAllDualTree(nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+	// Single query.
+	out, err = c.ClassifyAllDualTree([][]float64{{0, 0}})
+	if err != nil || len(out) != 1 || out[0] != High {
+		t.Fatalf("single query: %v, %v", out, err)
+	}
+	// All-identical queries exercise the zero-extent split path.
+	same := make([][]float64, 100)
+	for i := range same {
+		same[i] = []float64{30, 30}
+	}
+	out, err = c.ClassifyAllDualTree(same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range out {
+		if l != Low {
+			t.Fatalf("identical far queries: got %v, want LOW", l)
+		}
+	}
+	// Validation.
+	if _, err := c.ClassifyAllDualTree([][]float64{{1}}); err == nil {
+		t.Fatal("dimension mismatch should error")
+	}
+	if _, err := c.ClassifyAllDualTree([][]float64{{math.NaN(), 0}}); err == nil {
+		t.Fatal("NaN query should error")
+	}
+}
+
+func TestDualTreeCountsQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	data := gauss2D(rng, 600)
+	c, err := Train(data, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([][]float64, 250)
+	for i := range queries {
+		queries[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	if _, err := c.ClassifyAllDualTree(queries); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Queries; got != 250 {
+		t.Fatalf("Queries = %d, want 250", got)
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// latentData draws n points near a k-dimensional linear manifold embedded
+// in d dimensions — the regime where high-dimensional KDE still carries
+// signal (mirrors the hep generator's structure).
+func latentData(rng *rand.Rand, n, d, k int) [][]float64 {
+	load := make([][]float64, d)
+	for j := range load {
+		row := make([]float64, k)
+		for i := range row {
+			row[i] = rng.NormFloat64()
+		}
+		load[j] = row
+	}
+	rows := make([][]float64, n)
+	z := make([]float64, k)
+	for i := range rows {
+		for t := range z {
+			z[t] = rng.NormFloat64()
+		}
+		row := make([]float64, d)
+		for j := 0; j < d; j++ {
+			v := rng.NormFloat64() * 0.2
+			for t := 0; t < k; t++ {
+				v += load[j][t] * z[t]
+			}
+			row[j] = v
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// TestTrainHighDimensionalLatent is the regression test for the
+// bootstrap-recovery bugs found on hep-like data: bounds carried between
+// rounds can be off by many orders of magnitude in d = 27, and the old
+// multiplicative backoff either looped or accepted corrupted rounds.
+func TestTrainHighDimensionalLatent(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	data := latentData(rng, 4000, 27, 5)
+	cfg := testConfig()
+	c, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Threshold() <= 0 || math.IsNaN(c.Threshold()) {
+		t.Fatalf("threshold = %g, want positive", c.Threshold())
+	}
+	// Classifications must still work end to end.
+	labels, err := c.ClassifyAll(data[:500])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lows := 0
+	for _, l := range labels {
+		if l == Low {
+			lows++
+		}
+	}
+	// p = 0.01 ⇒ roughly 1% of training points are LOW; allow wide slack
+	// but reject degenerate all-LOW / all-HIGH outcomes.
+	if lows > 100 {
+		t.Fatalf("%d of 500 training points LOW; threshold degenerate (t=%g)", lows, c.Threshold())
+	}
+}
+
+// TestTrainNearIIDHighDim covers the truly degenerate regime: 20
+// near-independent dimensions where corrected densities can cancel to
+// zero. Training must not loop or error; thresholds may be tiny but the
+// classifier must answer queries.
+func TestTrainNearIIDHighDim(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	n, d := 1500, 20
+	data := make([][]float64, n)
+	for i := range data {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		data[i] = row
+	}
+	cfg := testConfig()
+	c, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(c.Threshold()) {
+		t.Fatal("threshold is NaN")
+	}
+	if _, err := c.Classify(data[0]); err != nil {
+		t.Fatal(err)
+	}
+	far := make([]float64, d)
+	for j := range far {
+		far[j] = 50
+	}
+	label, err := c.Classify(far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != Low {
+		t.Fatalf("distant point classified %v, want LOW", label)
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"tkdc/internal/grid"
+	"tkdc/internal/kdtree"
+	"tkdc/internal/kernel"
+)
+
+// modelSnapshot is the serialized form of a trained classifier. The
+// spatial index and grid are rebuilt deterministically from the data on
+// load (they are pure functions of data + config), so only the training
+// outcome — the threshold and its bounds — needs to persist alongside the
+// data. Loading therefore skips the expensive phases of Train entirely.
+type modelSnapshot struct {
+	Version   int
+	Config    Config
+	Data      [][]float64
+	Threshold float64
+	TLow      float64
+	THigh     float64
+	Train     TrainStats
+}
+
+// modelVersion identifies the snapshot format.
+const modelVersion = 1
+
+// Save serializes the trained classifier (including its training data —
+// a KDE *is* its data) so a later Load can serve queries without
+// retraining. The format is Go-specific (encoding/gob) and versioned.
+func (c *Classifier) Save(w io.Writer) error {
+	snap := modelSnapshot{
+		Version:   modelVersion,
+		Config:    c.cfg,
+		Data:      c.data,
+		Threshold: c.threshold,
+		TLow:      c.tLow,
+		THigh:     c.tHigh,
+		Train:     c.train,
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("core: save model: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a classifier saved with Save: the k-d tree and grid
+// are rebuilt from the stored data, and the persisted threshold is used
+// directly, skipping the bootstrap and the full-dataset density pass.
+func Load(r io.Reader) (*Classifier, error) {
+	var snap modelSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: load model: %w", err)
+	}
+	if snap.Version != modelVersion {
+		return nil, fmt.Errorf("core: unsupported model version %d (want %d)", snap.Version, modelVersion)
+	}
+	if len(snap.Data) == 0 {
+		return nil, errors.New("core: model contains no data")
+	}
+	if math.IsNaN(snap.Threshold) {
+		return nil, errors.New("core: model threshold is NaN")
+	}
+	cfg := snap.Config.normalized()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+
+	h, err := kernel.ScottBandwidths(snap.Data, cfg.BandwidthFactor)
+	if err != nil {
+		return nil, err
+	}
+	kern, err := newKernel(cfg.Kernel, h)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := kdtree.Build(snap.Data, kdtree.Options{LeafSize: cfg.LeafSize, Split: cfg.Split})
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Classifier{
+		cfg:         cfg,
+		dim:         len(snap.Data[0]),
+		data:        snap.Data,
+		kern:        kern,
+		tree:        tree,
+		tLow:        snap.TLow,
+		tHigh:       snap.THigh,
+		threshold:   snap.Threshold,
+		selfContrib: kern.AtZero() / float64(len(snap.Data)),
+		train:       snap.Train,
+	}
+	c.estPool.New = func() any {
+		return newDensityEstimator(c.tree, c.kern, cfg.DisableThresholdRule, cfg.DisableToleranceRule)
+	}
+	if !cfg.DisableGrid && c.dim <= cfg.MaxGridDim {
+		g, err := grid.New(snap.Data, h)
+		if err != nil {
+			return nil, err
+		}
+		c.grid = g
+		c.gridKDiag = kern.FromScaledSqDist(g.DiagSqScaled(kern.InvBandwidthsSq()))
+	}
+	return c, nil
+}

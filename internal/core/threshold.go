@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"tkdc/internal/kdtree"
+	"tkdc/internal/kernel"
+	"tkdc/internal/stats"
+)
+
+// thresholdBound is the outcome of Algorithm 3: probabilistic bounds on
+// t(p) for the full-dataset KDE, valid with probability ≥ 1−δ.
+type thresholdBound struct {
+	lo, hi  float64
+	rounds  int // bootstrap rounds run (including retries)
+	queries QueryStats
+}
+
+// boundThreshold is Algorithm 3. It bootstraps bounds on the quantile
+// threshold t(p) by training mini-KDEs on geometrically growing
+// subsamples: quantile bounds estimated on a small subsample make density
+// evaluation on the next, larger subsample cheap, because the pruning
+// rules of Algorithm 2 can fire. Bounds that turn out invalid for the
+// larger sample are multiplicatively backed off and the round retried.
+func boundThreshold(data [][]float64, cfg Config, rng *rand.Rand) (thresholdBound, error) {
+	n := len(data)
+	res := thresholdBound{lo: 0, hi: math.Inf(1)}
+
+	r := cfg.R0
+	if r > n {
+		r = n
+	}
+	const maxRetriesPerRound = 25
+	retries := 0
+	for {
+		res.rounds++
+		xr := sampleRows(data, r, rng)
+
+		h, err := kernel.ScottBandwidths(xr, cfg.BandwidthFactor)
+		if err != nil {
+			return res, fmt.Errorf("core: threshold bootstrap bandwidth: %w", err)
+		}
+		kern, err := newKernel(cfg.Kernel, h)
+		if err != nil {
+			return res, err
+		}
+		tree, err := kdtree.Build(xr, kdtree.Options{LeafSize: cfg.LeafSize, Split: cfg.Split})
+		if err != nil {
+			return res, fmt.Errorf("core: threshold bootstrap index: %w", err)
+		}
+		est := newDensityEstimator(tree, kern, cfg.DisableThresholdRule, cfg.DisableToleranceRule)
+
+		sEff := cfg.S0
+		if sEff > r {
+			sEff = r
+		}
+		xs := sampleRows(xr, sEff, rng)
+
+		// The bounds live in corrected-density space (Equation 1) while
+		// boundDensity prunes on plain densities: shift by the
+		// self-contribution so the pruning thresholds and the validity
+		// checks below refer to exactly the same quantity. The tolerance
+		// target stays ε·t in corrected space.
+		selfContrib := kern.AtZero() / float64(r)
+		tolCut := cfg.Epsilon * math.Max(res.lo, 0)
+		densities := make([]float64, sEff)
+		for i, q := range xs {
+			fl, fu := est.boundDensity(q, res.lo+selfContrib, res.hi+selfContrib, tolCut, &res.queries)
+			densities[i] = 0.5*(fl+fu) - selfContrib
+		}
+		sort.Float64s(densities)
+
+		l, u, err := stats.QuantileCIIndices(sEff, cfg.P, cfg.Delta)
+		if err != nil {
+			return res, fmt.Errorf("core: threshold bootstrap quantile CI: %w", err)
+		}
+		dl, _ := stats.SortedOrderStatistic(densities, l)
+		du, _ := stats.SortedOrderStatistic(densities, u)
+
+		// An order statistic is imprecise only if it fell where a pruning
+		// rule could have clipped it: above a finite hi, or below a
+		// positive lo (densities are non-negative, so lo ≤ 0 never prunes
+		// the low side).
+		switch {
+		case du > res.hi:
+			// Upper bound was too tight for this sample size. Relax past
+			// the (over-estimated) order statistic we observed and retry
+			// the round — bounds carried between rounds can be off by
+			// many orders of magnitude (Section 3.5), so pure
+			// multiplicative backoff would need dozens of retries. A
+			// non-positive bound cannot be grown multiplicatively; give
+			// up on that side entirely.
+			res.hi = scaleTowardInf(math.Max(res.hi, du), cfg.HBackoff)
+			if res.hi <= 0 || math.IsNaN(res.hi) {
+				res.hi = math.Inf(1)
+			}
+			retries++
+		case res.lo > 0 && dl < res.lo:
+			res.lo = scaleTowardZero(math.Min(res.lo, dl), cfg.HBackoff)
+			retries++
+		default:
+			if r >= n {
+				// Final round ran against the full dataset: dl and du are
+				// the 1−δ bounds on t(p) (Section 3.5). In extreme
+				// dimensionality the corrected densities can cancel to
+				// zero; a non-positive upper bound cannot prune and would
+				// poison later passes, so it degrades to +Inf.
+				res.lo = dl
+				res.hi = du
+				if res.hi <= 0 {
+					res.hi = math.Inf(1)
+				}
+				return res, nil
+			}
+			res.hi = scaleTowardInf(du, cfg.HBuffer)
+			if res.hi <= 0 {
+				res.hi = math.Inf(1)
+			}
+			res.lo = scaleTowardZero(dl, cfg.HBuffer)
+			retries = 0
+			r = int(float64(r) * cfg.HGrowth)
+			if r > n {
+				r = n
+			}
+			continue
+		}
+		if retries > maxRetriesPerRound {
+			// Degenerate data can defeat multiplicative backoff (e.g. a
+			// previous lo of exactly 0 never shrinks). Fall back to
+			// unbounded, which makes the next pass exact but safe.
+			res.lo, res.hi = 0, math.Inf(1)
+			retries = 0
+		}
+	}
+}
+
+// scaleTowardInf multiplicatively loosens an upper bound (larger for
+// positive values, closer to zero for negative ones).
+func scaleTowardInf(x, factor float64) float64 {
+	if x >= 0 {
+		return x * factor
+	}
+	return x / factor
+}
+
+// scaleTowardZero multiplicatively loosens a lower bound (smaller for
+// positive values, more negative for negative ones).
+func scaleTowardZero(x, factor float64) float64 {
+	if x >= 0 {
+		return x / factor
+	}
+	return x * factor
+}
+
+// sampleRows draws k rows without replacement using a partial
+// Fisher–Yates shuffle over an index array. k is clamped to len(rows).
+func sampleRows(rows [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(rows)
+	if k >= n {
+		out := make([][]float64, n)
+		copy(out, rows)
+		return out
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		out[i] = rows[idx[i]]
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tkdc/internal/kernel"
+	"tkdc/internal/stats"
+)
+
+// bruteThreshold computes the exact self-contribution-corrected p-quantile
+// of training densities — the definition of t(p) in Equation 1.
+func bruteThreshold(data [][]float64, b, p float64) float64 {
+	h, _ := kernel.ScottBandwidths(data, b)
+	kern, _ := kernel.NewGaussian(h)
+	self := kern.AtZero() / float64(len(data))
+	ds := make([]float64, len(data))
+	for i, x := range data {
+		ds[i] = exactDensity(data, kern, x) - self
+	}
+	sort.Float64s(ds)
+	t, _ := stats.SortedQuantile(ds, p)
+	return t
+}
+
+// TestBoundThresholdBracketsTrueThreshold verifies the bootstrap's core
+// guarantee across seeds: the returned bounds contain the exact t(p) (the
+// failure probability δ = 0.01 makes a miss across 8 seeds vanishingly
+// unlikely; allow one).
+func TestBoundThresholdBracketsTrueThreshold(t *testing.T) {
+	misses := 0
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		data := gauss2D(rng, 1500)
+		cfg := testConfig().normalized()
+		tb, err := boundThreshold(data, cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trueT := bruteThreshold(data, cfg.BandwidthFactor, cfg.P)
+		// Allow the ε precision the estimates carry.
+		slack := 2 * cfg.Epsilon * trueT
+		if trueT < tb.lo-slack || trueT > tb.hi+slack {
+			misses++
+			t.Logf("seed %d: true t(p)=%g outside [%g, %g]", seed, trueT, tb.lo, tb.hi)
+		}
+		if tb.lo > tb.hi {
+			t.Fatalf("seed %d: inverted bounds [%g, %g]", seed, tb.lo, tb.hi)
+		}
+		if tb.rounds < 1 {
+			t.Fatalf("seed %d: no bootstrap rounds recorded", seed)
+		}
+	}
+	if misses > 1 {
+		t.Fatalf("threshold bounds missed the true threshold %d/8 times", misses)
+	}
+}
+
+// The bootstrap must be dramatically cheaper than scoring every training
+// point exactly: its kernel evaluations should be well below n² even on a
+// modest dataset.
+func TestBoundThresholdCheaperThanExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	data := gauss2D(rng, 4000)
+	cfg := testConfig().normalized()
+	tb, err := boundThreshold(data, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactCost := int64(len(data)) * int64(len(data))
+	if tb.queries.Kernels() > exactCost/4 {
+		t.Fatalf("bootstrap used %d kernels; exact pass would be %d", tb.queries.Kernels(), exactCost)
+	}
+}
+
+func TestBoundThresholdTinyData(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	data := [][]float64{{0}, {0.1}, {0.2}, {10}}
+	cfg := testConfig().normalized()
+	tb, err := boundThreshold(data, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(tb.hi, 1) || tb.lo > tb.hi {
+		t.Fatalf("degenerate bounds for tiny data: [%g, %g]", tb.lo, tb.hi)
+	}
+}
+
+func TestSampleRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	rows := [][]float64{{1}, {2}, {3}, {4}, {5}}
+	got := sampleRows(rows, 3, rng)
+	if len(got) != 3 {
+		t.Fatalf("sampled %d rows, want 3", len(got))
+	}
+	seen := map[float64]bool{}
+	for _, r := range got {
+		if seen[r[0]] {
+			t.Fatal("sampleRows drew with replacement")
+		}
+		seen[r[0]] = true
+	}
+	// k ≥ n returns all rows.
+	all := sampleRows(rows, 10, rng)
+	if len(all) != 5 {
+		t.Fatalf("k>n returned %d rows, want 5", len(all))
+	}
+	// Original slice unharmed.
+	for i, r := range rows {
+		if r[0] != float64(i+1) {
+			t.Fatal("sampleRows mutated input")
+		}
+	}
+}
+
+func TestScaleHelpers(t *testing.T) {
+	if scaleTowardInf(2, 4) != 8 {
+		t.Fatal("positive upper bound should grow")
+	}
+	if scaleTowardInf(-2, 4) != -0.5 {
+		t.Fatal("negative upper bound should move toward zero/inf")
+	}
+	if scaleTowardZero(2, 4) != 0.5 {
+		t.Fatal("positive lower bound should shrink")
+	}
+	if scaleTowardZero(-2, 4) != -8 {
+		t.Fatal("negative lower bound should fall")
+	}
+	if scaleTowardZero(0, 4) != 0 || scaleTowardInf(0, 4) != 0 {
+		t.Fatal("zero is a fixed point")
+	}
+}

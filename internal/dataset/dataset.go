@@ -1,0 +1,437 @@
+// Package dataset provides seeded synthetic stand-ins for the seven
+// evaluation datasets of Table 3, plus the small 2-d datasets behind
+// Figures 1 and 2, CSV import/export, and dimensionality helpers.
+//
+// The real datasets (UCI shuttle, NREL tmy3, UCI home gas sensors, UCI
+// HEPMASS, Caltech-256 SIFT features, MNIST) are not available offline.
+// Each generator reproduces the statistical shape that matters to tKDC's
+// behaviour — modality, anisotropy, low-density filaments, tail weight,
+// dimensionality — because the pruning rules' effectiveness depends only
+// on the geometry of the density field (Appendix A, Lemma 1), not on
+// column semantics. All generators are deterministic in their seed.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"tkdc/internal/matrix"
+)
+
+// Info describes one generator for registries and CLI listings.
+type Info struct {
+	Name string
+	// Dim is the native dimensionality (0 means caller-chosen, as for
+	// gauss).
+	Dim int
+	// DefaultN is the paper's dataset size (scaled runs use less).
+	DefaultN    int
+	Description string
+}
+
+// Catalog lists every generator, mirroring Table 3.
+func Catalog() []Info {
+	return []Info{
+		{"gauss", 0, 100_000_000, "multivariate standard normal (caller-chosen d)"},
+		{"shuttle", 9, 43_500, "anisotropic cluster mixture with low-density filaments (space-shuttle-sensor-like)"},
+		{"tmy3", 8, 1_820_000, "seasonal/diurnal load profiles across building types (tmy3-like)"},
+		{"home", 10, 929_000, "drifting correlated gas-sensor regimes (home-sensor-like)"},
+		{"hep", 27, 10_500_000, "signal/background mixture with heavy tails (HEPMASS-like)"},
+		{"sift", 128, 11_200_000, "non-negative clustered image features (SIFT-like)"},
+		{"mnist", 784, 70_000, "prototype digit images plus pixel noise (MNIST-like)"},
+	}
+}
+
+// Generate dispatches by dataset name. d is honoured only by "gauss"
+// (other datasets have a native dimensionality; use TakeColumns or
+// PCAReduce to change it afterwards, as the paper does).
+func Generate(name string, n, d int, seed int64) ([][]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dataset: n = %d must be positive", n)
+	}
+	switch name {
+	case "gauss":
+		if d <= 0 {
+			return nil, fmt.Errorf("dataset: gauss requires a positive dimension, got %d", d)
+		}
+		return Gauss(n, d, seed), nil
+	case "shuttle":
+		return Shuttle(n, seed), nil
+	case "tmy3":
+		return TMY3(n, seed), nil
+	case "home":
+		return Home(n, seed), nil
+	case "hep":
+		return HEP(n, seed), nil
+	case "sift":
+		return SIFT(n, seed), nil
+	case "mnist":
+		return MNIST(n, seed), nil
+	default:
+		return nil, fmt.Errorf("dataset: unknown dataset %q", name)
+	}
+}
+
+// Gauss draws n points from a d-dimensional standard normal — the paper's
+// synthetic gauss dataset, reproduced exactly.
+func Gauss(n, d int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// Shuttle emulates the 9-dimensional space-shuttle sensor dataset: several
+// anisotropic operating-mode clusters of very different sizes, joined by
+// sparse filaments (the rare-transition readings visible in Figure 1's
+// low-density bridges).
+func Shuttle(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	const d = 9
+	type cluster struct {
+		weight float64
+		center [d]float64
+		scale  [d]float64
+	}
+	clusters := []cluster{
+		{0.60, [d]float64{0, 40, 0, 0, 20, 0, 30, 10, 0}, [d]float64{2, 5, 1, 8, 3, 2, 4, 2, 1}},
+		{0.20, [d]float64{40, 60, 5, -30, 45, 3, 10, 40, 5}, [d]float64{4, 3, 2, 5, 6, 1, 3, 5, 2}},
+		{0.12, [d]float64{-35, 20, -4, 25, 70, -2, 50, -20, 8}, [d]float64{3, 4, 1, 6, 2, 2, 5, 3, 2}},
+		{0.05, [d]float64{10, 80, 8, 60, 10, 6, -40, 60, -6}, [d]float64{2, 2, 1, 3, 2, 1, 2, 2, 1}},
+	}
+	rows := make([][]float64, n)
+	for i := range rows {
+		row := make([]float64, d)
+		u := rng.Float64()
+		acc := 0.0
+		var picked *cluster
+		for ci := range clusters {
+			acc += clusters[ci].weight
+			if u < acc {
+				picked = &clusters[ci]
+				break
+			}
+		}
+		if picked == nil {
+			// Remaining 3%: filament points interpolated between two
+			// cluster centers with tight orthogonal noise.
+			a := &clusters[rng.Intn(len(clusters))]
+			b := &clusters[rng.Intn(len(clusters))]
+			t := rng.Float64()
+			for j := 0; j < d; j++ {
+				row[j] = a.center[j] + t*(b.center[j]-a.center[j]) + rng.NormFloat64()*0.8
+			}
+		} else {
+			for j := 0; j < d; j++ {
+				row[j] = picked.center[j] + rng.NormFloat64()*picked.scale[j]
+			}
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// TMY3 emulates the 8-dimensional hourly building-load profiles: each row
+// is a building type's smooth diurnal/seasonal harmonic response sampled
+// at a random hour, giving strongly correlated banana-shaped clusters.
+func TMY3(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	const d = 8
+	const types = 6
+	// Per-type base level, amplitude, and phase for each feature.
+	base := make([][d]float64, types)
+	amp := make([][d]float64, types)
+	phase := make([][d]float64, types)
+	for t := 0; t < types; t++ {
+		for j := 0; j < d; j++ {
+			base[t][j] = 20 + 60*rng.Float64()
+			amp[t][j] = 5 + 25*rng.Float64()
+			phase[t][j] = 2 * math.Pi * rng.Float64()
+		}
+	}
+	rows := make([][]float64, n)
+	for i := range rows {
+		t := rng.Intn(types)
+		row := make([]float64, d)
+		if rng.Float64() < 0.25 {
+			// Off-hours base load: real metered profiles spend a quarter
+			// of their hours at a nearly constant baseline, producing the
+			// sharp density spikes that make the paper's grid cache
+			// effective on this dataset.
+			for j := 0; j < d; j++ {
+				row[j] = base[t][j] - 0.8*amp[t][j] + rng.NormFloat64()*0.5
+			}
+			rows[i] = row
+			continue
+		}
+		hour := rng.Float64() * 24
+		season := rng.Float64() * 2 * math.Pi
+		for j := 0; j < d; j++ {
+			diurnal := amp[t][j] * math.Sin(2*math.Pi*hour/24+phase[t][j])
+			seasonal := 0.4 * amp[t][j] * math.Sin(season+phase[t][j]/2)
+			row[j] = base[t][j] + diurnal + seasonal + rng.NormFloat64()*1.5
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// Home emulates the 10-dimensional home gas-sensor dataset: a handful of
+// environmental regimes, each with its own correlated sensor response and
+// slow drift.
+func Home(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	const d = 10
+	const regimes = 4
+	means := make([][d]float64, regimes)
+	load := make([][d]float64, regimes) // shared-factor loadings per regime
+	for r := 0; r < regimes; r++ {
+		for j := 0; j < d; j++ {
+			means[r][j] = rng.NormFloat64() * 8
+			load[r][j] = 0.5 + rng.Float64()*2
+		}
+	}
+	rows := make([][]float64, n)
+	drift := 0.0
+	for i := range rows {
+		drift += rng.NormFloat64() * 0.01
+		r := rng.Intn(regimes)
+		common := rng.NormFloat64() // shared factor ⇒ correlated sensors
+		row := make([]float64, d)
+		for j := 0; j < d; j++ {
+			row[j] = means[r][j] + load[r][j]*common + rng.NormFloat64()*0.7 + drift
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// HEP emulates the 27-dimensional particle-collision dataset. The real
+// HEPMASS features are derived kinematic quantities of a handful of
+// final-state objects, so they concentrate near a low-dimensional
+// manifold; we reproduce that with a 5-factor latent model (heavy-tailed
+// latents, random loadings, small isotropic noise) plus a shifted signal
+// component. Without this structure, 27 near-independent coordinates
+// would leave every point isolated and its KDE density degenerate.
+func HEP(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	const d = 27
+	const latents = 5
+	loadings := make([][latents]float64, d)
+	for j := range loadings {
+		for k := 0; k < latents; k++ {
+			loadings[j][k] = rng.NormFloat64()
+		}
+	}
+	signalShift := make([]float64, latents)
+	for k := range signalShift {
+		signalShift[k] = rng.NormFloat64() * 1.5
+	}
+	rows := make([][]float64, n)
+	var z [latents]float64
+	for i := range rows {
+		// Student-t tails on the latents: normal / sqrt(chi²_5 / 5).
+		chi := 0.0
+		for k := 0; k < 5; k++ {
+			v := rng.NormFloat64()
+			chi += v * v
+		}
+		tail := math.Sqrt(5 / chi)
+		signal := rng.Float64() < 0.3
+		for k := 0; k < latents; k++ {
+			z[k] = rng.NormFloat64() * tail
+			if signal {
+				z[k] += signalShift[k]
+			}
+		}
+		row := make([]float64, d)
+		for j := 0; j < d; j++ {
+			v := rng.NormFloat64() * 0.2 // detector noise
+			for k := 0; k < latents; k++ {
+				v += loadings[j][k] * z[k]
+			}
+			row[j] = v
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// SIFT emulates 128-dimensional image gradient features: non-negative,
+// clustered around visual-word centroids, with exponential magnitude
+// falloff.
+func SIFT(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	const d = 128
+	const words = 32
+	centers := make([][d]float64, words)
+	for w := 0; w < words; w++ {
+		for j := 0; j < d; j++ {
+			centers[w][j] = math.Abs(rng.NormFloat64()) * 40 * rng.Float64()
+		}
+	}
+	rows := make([][]float64, n)
+	for i := range rows {
+		w := rng.Intn(words)
+		row := make([]float64, d)
+		for j := 0; j < d; j++ {
+			v := centers[w][j] + rng.NormFloat64()*6
+			if v < 0 {
+				v = 0
+			}
+			row[j] = v
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// MNIST emulates 28×28 grayscale digit images: ten smooth prototype
+// "digits" (sums of Gaussian strokes on the pixel grid), each sampled with
+// intensity scaling and pixel noise, clipped to [0, 255]. As in the
+// paper, use PCAReduce to bring it to 64 or 256 dimensions.
+func MNIST(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	const side = 28
+	const d = side * side
+	const digits = 10
+	protos := make([][]float64, digits)
+	for p := range protos {
+		img := make([]float64, d)
+		strokes := 3 + rng.Intn(4)
+		for s := 0; s < strokes; s++ {
+			cx := 4 + rng.Float64()*20
+			cy := 4 + rng.Float64()*20
+			sx := 1 + rng.Float64()*3
+			sy := 1 + rng.Float64()*3
+			for y := 0; y < side; y++ {
+				for x := 0; x < side; x++ {
+					dx := (float64(x) - cx) / sx
+					dy := (float64(y) - cy) / sy
+					img[y*side+x] += 200 * math.Exp(-0.5*(dx*dx+dy*dy))
+				}
+			}
+		}
+		protos[p] = img
+	}
+	rows := make([][]float64, n)
+	for i := range rows {
+		p := protos[rng.Intn(digits)]
+		scale := 0.7 + rng.Float64()*0.6
+		row := make([]float64, d)
+		for j := 0; j < d; j++ {
+			v := p[j]*scale + rng.NormFloat64()*8
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			row[j] = v
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// Iris2D emulates the two sepal measurements of the Iris dataset behind
+// Figure 2a: two dominant modes (setosa vs. the overlapping pair) with a
+// sparse valley between them.
+func Iris2D(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		var w, l float64
+		switch r := rng.Float64(); {
+		case r < 0.34: // setosa-like
+			w = 3.4 + rng.NormFloat64()*0.35
+			l = 5.0 + rng.NormFloat64()*0.33
+		case r < 0.67: // versicolor-like
+			w = 2.8 + rng.NormFloat64()*0.30
+			l = 5.9 + rng.NormFloat64()*0.45
+		default: // virginica-like
+			w = 3.0 + rng.NormFloat64()*0.32
+			l = 6.6 + rng.NormFloat64()*0.60
+		}
+		rows[i] = []float64{w, l}
+	}
+	return rows
+}
+
+// Galaxy2D emulates a sky-survey cross-section like Figure 2b: dense
+// filamentary structure (a web of line segments) over a sparse uniform
+// field, the geometry behind void-finding analyses.
+func Galaxy2D(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	type segment struct{ x0, y0, x1, y1 float64 }
+	segs := make([]segment, 12)
+	for s := range segs {
+		segs[s] = segment{
+			rng.Float64() * 100, rng.Float64() * 100,
+			rng.Float64() * 100, rng.Float64() * 100,
+		}
+	}
+	rows := make([][]float64, n)
+	for i := range rows {
+		if rng.Float64() < 0.85 {
+			sg := segs[rng.Intn(len(segs))]
+			t := rng.Float64()
+			rows[i] = []float64{
+				sg.x0 + t*(sg.x1-sg.x0) + rng.NormFloat64()*1.2,
+				sg.y0 + t*(sg.y1-sg.y0) + rng.NormFloat64()*1.2,
+			}
+		} else {
+			rows[i] = []float64{rng.Float64() * 100, rng.Float64() * 100}
+		}
+	}
+	return rows
+}
+
+// TakeColumns keeps the first d columns of every row (how the paper forms
+// the d-sweeps of Figures 11 and the sift d=64 panel).
+func TakeColumns(rows [][]float64, d int) ([][]float64, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: TakeColumns of empty dataset")
+	}
+	if d < 1 || d > len(rows[0]) {
+		return nil, fmt.Errorf("dataset: TakeColumns d = %d out of range [1, %d]", d, len(rows[0]))
+	}
+	out := make([][]float64, len(rows))
+	for i, row := range rows {
+		out[i] = row[:d:d]
+	}
+	return out, nil
+}
+
+// PCAReduce projects rows onto their top-k principal components (how the
+// paper reduces mnist to 64/256 dimensions). For efficiency the PCA is
+// fitted on a subsample of at most fitSample rows (all rows if fewer).
+func PCAReduce(rows [][]float64, k, fitSample int, seed int64) ([][]float64, error) {
+	fit := rows
+	if fitSample > 0 && len(rows) > fitSample {
+		fit = sampleWithout(rows, fitSample, rand.New(rand.NewSource(seed)))
+	}
+	p, err := matrix.FitPCA(fit, k)
+	if err != nil {
+		return nil, err
+	}
+	return p.TransformAll(rows), nil
+}
+
+func sampleWithout(rows [][]float64, k int, rng *rand.Rand) [][]float64 {
+	idx := rng.Perm(len(rows))[:k]
+	sort.Ints(idx)
+	out := make([][]float64, k)
+	for i, j := range idx {
+		out[i] = rows[j]
+	}
+	return out
+}

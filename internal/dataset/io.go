@@ -1,0 +1,78 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV emits rows as comma-separated values with full float64
+// round-trip precision, one row per line, no header.
+func WriteCSV(w io.Writer, rows [][]float64) error {
+	bw := bufio.NewWriter(w)
+	buf := make([]byte, 0, 32)
+	for _, row := range rows {
+		for j, v := range row {
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			buf = strconv.AppendFloat(buf[:0], v, 'g', -1, 64)
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses comma-separated numeric rows. Blank lines are skipped; a
+// non-numeric first line is treated as a header and skipped. All data
+// rows must have the same number of columns.
+func ReadCSV(r io.Reader) ([][]float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var rows [][]float64
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		row := make([]float64, len(fields))
+		ok := true
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			row[j] = v
+		}
+		if !ok {
+			if len(rows) == 0 && lineNo == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("dataset: line %d is not numeric", lineNo)
+		}
+		if len(rows) > 0 && len(row) != len(rows[0]) {
+			return nil, fmt.Errorf("dataset: line %d has %d columns, want %d", lineNo, len(row), len(rows[0]))
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: no data rows")
+	}
+	return rows, nil
+}

@@ -1,0 +1,178 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tkdc/internal/kernel"
+)
+
+func TestNewValidation(t *testing.T) {
+	pts := [][]float64{{1, 2}}
+	if _, err := New(nil, []float64{1}); err == nil {
+		t.Fatal("empty points should error")
+	}
+	if _, err := New(pts, nil); err == nil {
+		t.Fatal("empty widths should error")
+	}
+	if _, err := New(pts, []float64{1, 0}); err == nil {
+		t.Fatal("zero width should error")
+	}
+	if _, err := New(pts, []float64{1, math.NaN()}); err == nil {
+		t.Fatal("NaN width should error")
+	}
+	if _, err := New(pts, []float64{1}); err == nil {
+		t.Fatal("dimension mismatch should error")
+	}
+}
+
+func TestCountBasics(t *testing.T) {
+	pts := [][]float64{
+		{0.1, 0.1}, {0.9, 0.9}, // cell (0,0)
+		{1.5, 0.5},   // cell (1,0)
+		{-0.5, -0.5}, // cell (-1,-1)
+	}
+	g, err := New(pts, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Count([]float64{0.5, 0.5}); got != 2 {
+		t.Fatalf("cell (0,0) count = %d, want 2", got)
+	}
+	if got := g.Count([]float64{1.2, 0.8}); got != 1 {
+		t.Fatalf("cell (1,0) count = %d, want 1", got)
+	}
+	if got := g.Count([]float64{-0.1, -0.9}); got != 1 {
+		t.Fatalf("cell (-1,-1) count = %d, want 1", got)
+	}
+	if got := g.Count([]float64{100, 100}); got != 0 {
+		t.Fatalf("empty cell count = %d, want 0", got)
+	}
+	if g.N() != 4 || g.Dim() != 2 || g.Cells() != 3 {
+		t.Fatalf("N=%d Dim=%d Cells=%d, want 4/2/3", g.N(), g.Dim(), g.Cells())
+	}
+}
+
+func TestNegativeCoordinateCells(t *testing.T) {
+	// floor semantics: -0.5 with width 1 lands in cell -1, not 0.
+	g, err := New([][]float64{{-0.5}}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Count([]float64{-0.01}); got != 1 {
+		t.Fatalf("cell -1 count = %d, want 1", got)
+	}
+	if got := g.Count([]float64{0.01}); got != 0 {
+		t.Fatalf("cell 0 count = %d, want 0", got)
+	}
+}
+
+func TestDiagSqScaledEqualsDimWhenWidthsAreBandwidths(t *testing.T) {
+	h := []float64{0.3, 2.5, 7}
+	k, err := kernel.NewGaussian(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New([][]float64{{0, 0, 0}}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.DiagSqScaled(k.InvBandwidthsSq()); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("DiagSqScaled = %v, want 3 (= d)", got)
+	}
+}
+
+// Property: the grid's density bound is a true lower bound on the exact
+// kernel density for random data and queries.
+func TestLowerBoundDensityIsLowerBound(t *testing.T) {
+	h := []float64{0.5, 0.5}
+	k, err := kernel.NewGaussian(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(500)
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		}
+		g, err := New(pts, h)
+		if err != nil {
+			return false
+		}
+		kDiag := k.FromScaledSqDist(g.DiagSqScaled(k.InvBandwidthsSq()))
+		for trial := 0; trial < 10; trial++ {
+			q := []float64{rng.NormFloat64(), rng.NormFloat64()}
+			exact := 0.0
+			for _, p := range pts {
+				exact += kernel.At(k, q, p)
+			}
+			exact /= float64(n)
+			if g.LowerBoundDensity(q, kDiag) > exact+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseClusterTriggersBound(t *testing.T) {
+	// 1000 points in one tight cluster: the grid bound at the cluster
+	// center must be strongly positive.
+	rng := rand.New(rand.NewSource(9))
+	pts := make([][]float64, 1000)
+	for i := range pts {
+		// Centered inside cell (0,0) so the whole cluster shares one cell.
+		pts[i] = []float64{0.5 + rng.NormFloat64()*0.01, 0.5 + rng.NormFloat64()*0.01}
+	}
+	h := []float64{1, 1}
+	k, _ := kernel.NewGaussian(h)
+	g, err := New(pts, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kDiag := k.FromScaledSqDist(g.DiagSqScaled(k.InvBandwidthsSq()))
+	lb := g.LowerBoundDensity([]float64{0.5, 0.5}, kDiag)
+	// Nearly all mass within the cell: bound ≈ K(d_diag) ≈ norm·e^{-1}.
+	if lb < 0.9*k.AtZero()*math.Exp(-1) {
+		t.Fatalf("cluster lower bound = %v, too weak", lb)
+	}
+}
+
+func BenchmarkGridBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	pts := make([][]float64, 100_000)
+	for i := range pts {
+		pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	h := []float64{0.05, 0.05}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(pts, h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGridCount(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	pts := make([][]float64, 100_000)
+	for i := range pts {
+		pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	g, err := New(pts, []float64{0.05, 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := []float64{0.1, -0.2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Count(q)
+	}
+}

@@ -1,0 +1,410 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomPoints(rng *rand.Rand, n, d int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.NormFloat64() * 10
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Options{}); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if _, err := Build([][]float64{{}}, Options{}); err == nil {
+		t.Fatal("zero-dimensional input should error")
+	}
+	if _, err := Build([][]float64{{1, 2}, {3}}, Options{}); err == nil {
+		t.Fatal("ragged input should error")
+	}
+	if _, err := Build([][]float64{{math.NaN()}}, Options{}); err == nil {
+		t.Fatal("NaN coordinate should error")
+	}
+	if _, err := Build([][]float64{{math.Inf(1)}}, Options{}); err == nil {
+		t.Fatal("Inf coordinate should error")
+	}
+}
+
+func TestBuildDoesNotMutateInputOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomPoints(rng, 100, 2)
+	first := pts[0]
+	if _, err := Build(pts, Options{LeafSize: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if &pts[0][0] != &first[0] {
+		t.Fatal("input slice header order changed")
+	}
+}
+
+func TestSingleLeafTree(t *testing.T) {
+	pts := [][]float64{{1, 2}, {3, 4}}
+	tr, err := Build(pts, Options{LeafSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Root.IsLeaf() || tr.Root.Count != 2 {
+		t.Fatal("two points with LeafSize 10 should be a single leaf")
+	}
+	if tr.Height() != 1 || tr.NodeCount() != 1 {
+		t.Fatalf("Height=%d NodeCount=%d, want 1/1", tr.Height(), tr.NodeCount())
+	}
+}
+
+func TestAllIdenticalPoints(t *testing.T) {
+	pts := make([][]float64, 100)
+	for i := range pts {
+		pts[i] = []float64{7, 7, 7}
+	}
+	tr, err := Build(pts, Options{LeafSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Root.IsLeaf() {
+		t.Fatal("identical points cannot be split; root must be a leaf")
+	}
+	if tr.Root.Count != 100 {
+		t.Fatalf("count = %d, want 100", tr.Root.Count)
+	}
+	for j := 0; j < 3; j++ {
+		if tr.Root.Min[j] != 7 || tr.Root.Max[j] != 7 {
+			t.Fatal("degenerate bounding box expected")
+		}
+	}
+}
+
+func TestHeavyDuplicates(t *testing.T) {
+	// Half the points at one location, half spread out: splits must still
+	// terminate and preserve every point.
+	rng := rand.New(rand.NewSource(2))
+	pts := make([][]float64, 0, 2000)
+	for i := 0; i < 1000; i++ {
+		pts = append(pts, []float64{5, 5})
+	}
+	pts = append(pts, randomPoints(rng, 1000, 2)...)
+	tr, err := Build(pts, Options{LeafSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, tr)
+}
+
+// checkInvariants walks the tree verifying: counts sum, points inside
+// boxes, child boxes inside parent boxes, and total point preservation.
+func checkInvariants(t *testing.T, tr *Tree) {
+	t.Helper()
+	total := 0
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsLeaf() {
+			if len(n.Points) != n.Count {
+				t.Fatalf("leaf count %d != stored %d", n.Count, len(n.Points))
+			}
+			total += n.Count
+			for _, p := range n.Points {
+				for j, v := range p {
+					if v < n.Min[j] || v > n.Max[j] {
+						t.Fatalf("point %v outside box [%v, %v] dim %d", p, n.Min, n.Max, j)
+					}
+				}
+			}
+			return
+		}
+		if n.Points != nil {
+			t.Fatal("interior node stores points")
+		}
+		if n.Left.Count+n.Right.Count != n.Count {
+			t.Fatalf("child counts %d+%d != %d", n.Left.Count, n.Right.Count, n.Count)
+		}
+		for _, c := range []*Node{n.Left, n.Right} {
+			for j := range n.Min {
+				if c.Min[j] < n.Min[j] || c.Max[j] > n.Max[j] {
+					t.Fatalf("child box [%v, %v] escapes parent [%v, %v]", c.Min, c.Max, n.Min, n.Max)
+				}
+			}
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(tr.Root)
+	if total != tr.Size {
+		t.Fatalf("tree preserved %d of %d points", total, tr.Size)
+	}
+}
+
+// Property: invariants hold for random datasets under both split rules.
+func TestTreeInvariantsProperty(t *testing.T) {
+	for _, rule := range []SplitRule{SplitEquiWidth, SplitMedian} {
+		rule := rule
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			n := 1 + rng.Intn(500)
+			d := 1 + rng.Intn(5)
+			pts := randomPoints(rng, n, d)
+			tr, err := Build(pts, Options{LeafSize: 1 + rng.Intn(16), Split: rule})
+			if err != nil {
+				return false
+			}
+			// Reuse checkInvariants via a sub-test-free walk: replicate
+			// minimal checks inline to return bool.
+			ok := true
+			total := 0
+			var walk func(nd *Node)
+			walk = func(nd *Node) {
+				if !ok {
+					return
+				}
+				if nd.IsLeaf() {
+					total += nd.Count
+					for _, p := range nd.Points {
+						for j, v := range p {
+							if v < nd.Min[j] || v > nd.Max[j] {
+								ok = false
+							}
+						}
+					}
+					return
+				}
+				if nd.Left.Count+nd.Right.Count != nd.Count {
+					ok = false
+					return
+				}
+				walk(nd.Left)
+				walk(nd.Right)
+			}
+			walk(tr.Root)
+			return ok && total == n
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Fatalf("rule %v: %v", rule, err)
+		}
+	}
+}
+
+// Property: MinSqDist ≤ actual scaled distance ≤ MaxSqDist for every point
+// under a node.
+func TestDistanceBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randomPoints(rng, 200, 3)
+		tr, err := Build(pts, Options{LeafSize: 8})
+		if err != nil {
+			return false
+		}
+		invH2 := []float64{1, 0.25, 4}
+		q := []float64{rng.NormFloat64() * 20, rng.NormFloat64() * 20, rng.NormFloat64() * 20}
+		ok := true
+		var walk func(n *Node)
+		walk = func(n *Node) {
+			if !ok {
+				return
+			}
+			lo, hi := n.MinSqDist(q, invH2), n.MaxSqDist(q, invH2)
+			if lo > hi {
+				ok = false
+				return
+			}
+			if n.IsLeaf() {
+				for _, p := range n.Points {
+					s := sqDist(q, p, invH2)
+					if s < lo-1e-9 || s > hi+1e-9 {
+						ok = false
+						return
+					}
+				}
+				return
+			}
+			walk(n.Left)
+			walk(n.Right)
+		}
+		walk(tr.Root)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinSqDistInsideBoxIsZero(t *testing.T) {
+	pts := [][]float64{{0, 0}, {10, 10}}
+	tr, _ := Build(pts, Options{})
+	invH2 := []float64{1, 1}
+	if got := tr.Root.MinSqDist([]float64{5, 5}, invH2); got != 0 {
+		t.Fatalf("inside-box MinSqDist = %v, want 0", got)
+	}
+	if got := tr.Root.MinSqDist([]float64{-3, 0}, invH2); got != 9 {
+		t.Fatalf("MinSqDist = %v, want 9", got)
+	}
+	if got := tr.Root.MaxSqDist([]float64{0, 0}, invH2); got != 200 {
+		t.Fatalf("MaxSqDist = %v, want 200", got)
+	}
+}
+
+func TestForEachInRangeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randomPoints(rng, 1000, 2)
+	tr, err := Build(pts, Options{LeafSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	invH2 := []float64{1, 1}
+	for trial := 0; trial < 20; trial++ {
+		q := []float64{rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+		sqR := rng.Float64() * 100
+		want := 0
+		for _, p := range pts {
+			if sqDist(q, p, invH2) <= sqR {
+				want++
+			}
+		}
+		got := 0
+		tr.ForEachInRange(q, invH2, sqR, func(p []float64) { got++ })
+		if got != want {
+			t.Fatalf("range query found %d points, brute force %d (r²=%v)", got, want, sqR)
+		}
+	}
+}
+
+func TestSplitRuleString(t *testing.T) {
+	if SplitEquiWidth.String() != "equiwidth" || SplitMedian.String() != "median" {
+		t.Fatal("SplitRule names wrong")
+	}
+	if SplitRule(9).String() == "" {
+		t.Fatal("unknown rule should still render")
+	}
+}
+
+func TestMedianSplitBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := randomPoints(rng, 1<<12, 2)
+	tr, err := Build(pts, Options{LeafSize: 1, Split: SplitMedian})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A balanced tree over 4096 points with leaf size 1 has height ≈ 13;
+	// allow slack for duplicate handling.
+	if h := tr.Height(); h > 20 {
+		t.Fatalf("median tree height = %d, want ≈13", h)
+	}
+	checkInvariants(t, tr)
+}
+
+func TestEquiWidthInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randomPoints(rng, 5000, 4)
+	tr, err := Build(pts, Options{LeafSize: 16, Split: SplitEquiWidth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, tr)
+}
+
+func BenchmarkBuild100k2D(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	pts := randomPoints(rng, 100_000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(pts, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRangeQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	pts := randomPoints(rng, 100_000, 2)
+	tr, err := Build(pts, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	invH2 := []float64{1, 1}
+	q := []float64{0, 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		tr.ForEachInRange(q, invH2, 4, func(p []float64) { count++ })
+	}
+}
+
+func TestForEachInRangeZeroRadius(t *testing.T) {
+	pts := [][]float64{{1, 1}, {2, 2}, {1, 1}}
+	tr, err := Build(pts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	invH2 := []float64{1, 1}
+	count := 0
+	tr.ForEachInRange([]float64{1, 1}, invH2, 0, func(p []float64) { count++ })
+	if count != 2 {
+		t.Fatalf("zero radius matched %d points, want the 2 exact duplicates", count)
+	}
+}
+
+func TestForEachInRangeHugeRadiusVisitsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts := randomPoints(rng, 500, 3)
+	tr, err := Build(pts, Options{LeafSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	invH2 := []float64{1, 1, 1}
+	count := 0
+	tr.ForEachInRange([]float64{0, 0, 0}, invH2, math.Inf(1), func(p []float64) { count++ })
+	if count != 500 {
+		t.Fatalf("infinite radius visited %d points, want 500", count)
+	}
+}
+
+// TestEquiWidthSplitsAtTrimmedMidpoint checks the Section 3.7 rule
+// directly: for a two-cluster axis, the first split must land between
+// the clusters (the trimmed midpoint), not at the median inside the
+// bigger cluster.
+func TestEquiWidthSplitsAtTrimmedMidpoint(t *testing.T) {
+	// 80 points near 0, 20 points near 100: the 90th percentile falls in
+	// the far cluster, so the trimmed midpoint (≈50) separates the
+	// clusters, while a median split would cut inside the big cluster.
+	var pts [][]float64
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 80; i++ {
+		pts = append(pts, []float64{rng.NormFloat64()})
+	}
+	for i := 0; i < 20; i++ {
+		pts = append(pts, []float64{100 + rng.NormFloat64()})
+	}
+	tr, err := Build(pts, Options{LeafSize: 16, Split: SplitEquiWidth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root.IsLeaf() {
+		t.Fatal("root should split")
+	}
+	// The children should separate the clusters: one child entirely
+	// below 50, the other entirely above.
+	l, r := tr.Root.Left, tr.Root.Right
+	if l.Max[0] > 50 || r.Min[0] < 50 {
+		t.Fatalf("equi-width split failed to separate clusters: left max %v, right min %v", l.Max[0], r.Min[0])
+	}
+	if l.Count != 80 || r.Count != 20 {
+		t.Fatalf("cluster counts %d/%d, want 80/20", l.Count, r.Count)
+	}
+
+	med, err := Build(pts, Options{LeafSize: 16, Split: SplitMedian})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med.Root.Left.Count != 50 && med.Root.Right.Count != 50 {
+		t.Fatalf("median split should balance: %d/%d", med.Root.Left.Count, med.Root.Right.Count)
+	}
+}

@@ -1,0 +1,320 @@
+// Package matrix provides the small dense linear-algebra substrate tKDC's
+// evaluation needs: row-major matrices, covariance, a Householder+QL
+// eigensolver for symmetric matrices, and PCA.
+//
+// The paper reduces the 784-dimensional mnist dataset to 64 and 256
+// dimensions via PCA before running tKDC (Section 4.1 and Appendix B);
+// this package supplies that step without external dependencies.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewDense allocates a zeroed r×c matrix.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("matrix: invalid dimensions %dx%d", r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromRows copies a slice-of-rows into a Dense matrix. All rows must have
+// equal length.
+func FromRows(rows [][]float64) (*Dense, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("matrix: no rows")
+	}
+	c := len(rows[0])
+	m := NewDense(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			return nil, fmt.Errorf("matrix: ragged input: row %d has %d columns, want %d", i, len(row), c)
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m, nil
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (not a copy).
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// MulVec computes m·x into a new slice. len(x) must equal m.Cols.
+func (m *Dense) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("matrix: MulVec dimension mismatch: %d vs %d", len(x), m.Cols))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		sum := 0.0
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+// Covariance returns the d×d sample covariance matrix (dividing by n) of a
+// row-major dataset along with its column means.
+func Covariance(rows [][]float64) (cov *Dense, means []float64, err error) {
+	if len(rows) == 0 {
+		return nil, nil, errors.New("matrix: covariance of empty dataset")
+	}
+	d := len(rows[0])
+	means = make([]float64, d)
+	for i, row := range rows {
+		if len(row) != d {
+			return nil, nil, fmt.Errorf("matrix: ragged input: row %d has %d columns, want %d", i, len(row), d)
+		}
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	n := float64(len(rows))
+	for j := range means {
+		means[j] /= n
+	}
+	cov = NewDense(d, d)
+	centered := make([]float64, d)
+	for _, row := range rows {
+		for j, v := range row {
+			centered[j] = v - means[j]
+		}
+		for a := 0; a < d; a++ {
+			ca := centered[a]
+			base := a * d
+			for b := a; b < d; b++ {
+				cov.Data[base+b] += ca * centered[b]
+			}
+		}
+	}
+	inv := 1 / n
+	for a := 0; a < d; a++ {
+		for b := a; b < d; b++ {
+			v := cov.Data[a*d+b] * inv
+			cov.Data[a*d+b] = v
+			cov.Data[b*d+a] = v
+		}
+	}
+	return cov, means, nil
+}
+
+// SymEigen computes the eigendecomposition of a symmetric matrix via
+// Householder tridiagonalization followed by the implicit-shift QL
+// algorithm (the classic tred2/tqli pair). It returns eigenvalues in
+// descending order and the matching unit eigenvectors as the rows of the
+// returned matrix.
+//
+// The input must be square and symmetric; asymmetry beyond a small
+// tolerance is an error. The cost is O(d³) with a small constant,
+// comfortably handling the d = 784 covariance matrices of the mnist PCA
+// reduction.
+func SymEigen(a *Dense) (values []float64, vectors *Dense, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, fmt.Errorf("matrix: SymEigen of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	// Verify symmetry relative to the matrix scale.
+	scale := 0.0
+	for _, v := range a.Data {
+		scale = math.Max(scale, math.Abs(v))
+	}
+	tol := 1e-9 * math.Max(scale, 1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a.At(i, j)-a.At(j, i)) > tol {
+				return nil, nil, fmt.Errorf("matrix: SymEigen requires symmetry; a[%d,%d]=%g a[%d,%d]=%g", i, j, a.At(i, j), j, i, a.At(j, i))
+			}
+		}
+	}
+
+	// z starts as a copy of a; tred2 leaves the accumulated Householder
+	// transform in it, and tqli rotates it into the eigenvector matrix
+	// (column k = k-th eigenvector).
+	z := NewDense(n, n)
+	copy(z.Data, a.Data)
+	d := make([]float64, n) // diagonal
+	e := make([]float64, n) // off-diagonal
+	tred2(z, d, e)
+	if err := tqli(d, e, z); err != nil {
+		return nil, nil, err
+	}
+
+	// Sort by descending eigenvalue, emitting eigenvectors as rows.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return d[idx[i]] > d[idx[j]] })
+	values = make([]float64, n)
+	vectors = NewDense(n, n)
+	for k, src := range idx {
+		values[k] = d[src]
+		for row := 0; row < n; row++ {
+			vectors.Set(k, row, z.At(row, src))
+		}
+	}
+	return values, vectors, nil
+}
+
+// tred2 reduces the symmetric matrix held in z to tridiagonal form by
+// Householder reflections, accumulating the orthogonal transform back
+// into z. On return d holds the diagonal and e the sub-diagonal
+// (e[0] = 0). Adapted from the standard tred2 routine.
+func tred2(z *Dense, d, e []float64) {
+	n := z.Rows
+	for i := n - 1; i >= 1; i-- {
+		l := i - 1
+		h, sc := 0.0, 0.0
+		if l > 0 {
+			for k := 0; k <= l; k++ {
+				sc += math.Abs(z.At(i, k))
+			}
+			if sc == 0 {
+				e[i] = z.At(i, l)
+			} else {
+				for k := 0; k <= l; k++ {
+					v := z.At(i, k) / sc
+					z.Set(i, k, v)
+					h += v * v
+				}
+				f := z.At(i, l)
+				g := math.Sqrt(h)
+				if f >= 0 {
+					g = -g
+				}
+				e[i] = sc * g
+				h -= f * g
+				z.Set(i, l, f-g)
+				f = 0
+				for j := 0; j <= l; j++ {
+					z.Set(j, i, z.At(i, j)/h)
+					g = 0
+					for k := 0; k <= j; k++ {
+						g += z.At(j, k) * z.At(i, k)
+					}
+					for k := j + 1; k <= l; k++ {
+						g += z.At(k, j) * z.At(i, k)
+					}
+					e[j] = g / h
+					f += e[j] * z.At(i, j)
+				}
+				hh := f / (h + h)
+				for j := 0; j <= l; j++ {
+					f = z.At(i, j)
+					g = e[j] - hh*f
+					e[j] = g
+					for k := 0; k <= j; k++ {
+						z.Set(j, k, z.At(j, k)-f*e[k]-g*z.At(i, k))
+					}
+				}
+			}
+		} else {
+			e[i] = z.At(i, l)
+		}
+		d[i] = h
+	}
+	d[0] = 0
+	e[0] = 0
+	for i := 0; i < n; i++ {
+		l := i - 1
+		if d[i] != 0 {
+			for j := 0; j <= l; j++ {
+				g := 0.0
+				for k := 0; k <= l; k++ {
+					g += z.At(i, k) * z.At(k, j)
+				}
+				for k := 0; k <= l; k++ {
+					z.Set(k, j, z.At(k, j)-g*z.At(k, i))
+				}
+			}
+		}
+		d[i] = z.At(i, i)
+		z.Set(i, i, 1)
+		for j := 0; j <= l; j++ {
+			z.Set(j, i, 0)
+			z.Set(i, j, 0)
+		}
+	}
+}
+
+// tqli diagonalizes a symmetric tridiagonal matrix (diagonal d,
+// sub-diagonal e) with implicit-shift QL iterations, rotating the
+// eigenvector accumulator z alongside. Adapted from the standard tqli
+// routine.
+func tqli(d, e []float64, z *Dense) error {
+	n := len(d)
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			if iter == 50 {
+				return errors.New("matrix: tqli failed to converge in 50 iterations")
+			}
+			var m int
+			for m = l; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m])+dd == dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				for k := 0; k < z.Rows; k++ {
+					f := z.At(k, i+1)
+					z.Set(k, i+1, s*z.At(k, i)+c*f)
+					z.Set(k, i, c*z.At(k, i)-s*f)
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return nil
+}

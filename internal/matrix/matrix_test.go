@@ -1,0 +1,284 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("shape = %dx%d, want 3x2", m.Rows, m.Cols)
+	}
+	if m.At(1, 1) != 4 {
+		t.Fatalf("At(1,1) = %v, want 4", m.At(1, 1))
+	}
+	m.Set(2, 0, 9)
+	if m.Row(2)[0] != 9 {
+		t.Fatal("Set/Row inconsistency")
+	}
+}
+
+func TestFromRowsErrors(t *testing.T) {
+	if _, err := FromRows(nil); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged input should error")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := m.MulVec([]float64{1, 0, -1})
+	if got[0] != -2 || got[1] != -2 {
+		t.Fatalf("MulVec = %v, want [-2 -2]", got)
+	}
+}
+
+func TestMulVecPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on dimension mismatch")
+		}
+	}()
+	m := NewDense(2, 3)
+	m.MulVec([]float64{1, 2})
+}
+
+func TestCovarianceKnown(t *testing.T) {
+	// Perfectly correlated columns.
+	rows := [][]float64{{0, 0}, {1, 2}, {2, 4}}
+	cov, means, err := Covariance(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if means[0] != 1 || means[1] != 2 {
+		t.Fatalf("means = %v, want [1 2]", means)
+	}
+	// var(x) = 2/3, var(y) = 8/3, cov = 4/3.
+	if math.Abs(cov.At(0, 0)-2.0/3) > 1e-12 ||
+		math.Abs(cov.At(1, 1)-8.0/3) > 1e-12 ||
+		math.Abs(cov.At(0, 1)-4.0/3) > 1e-12 ||
+		cov.At(0, 1) != cov.At(1, 0) {
+		t.Fatalf("covariance = %v", cov.Data)
+	}
+}
+
+func TestCovarianceErrors(t *testing.T) {
+	if _, _, err := Covariance(nil); err == nil {
+		t.Fatal("empty dataset should error")
+	}
+	if _, _, err := Covariance([][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged dataset should error")
+	}
+}
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a, _ := FromRows([][]float64{{3, 0}, {0, 1}})
+	vals, vecs, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-10 || math.Abs(vals[1]-1) > 1e-10 {
+		t.Fatalf("eigenvalues = %v, want [3 1]", vals)
+	}
+	// First eigenvector ≈ ±e1.
+	if math.Abs(math.Abs(vecs.At(0, 0))-1) > 1e-10 || math.Abs(vecs.At(0, 1)) > 1e-10 {
+		t.Fatalf("eigenvector 0 = %v", vecs.Row(0))
+	}
+}
+
+func TestSymEigen2x2Known(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1)/√2, (1,-1)/√2.
+	a, _ := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-10 || math.Abs(vals[1]-1) > 1e-10 {
+		t.Fatalf("eigenvalues = %v, want [3 1]", vals)
+	}
+	v0 := vecs.Row(0)
+	if math.Abs(math.Abs(v0[0])-1/math.Sqrt2) > 1e-9 || math.Abs(v0[0]-v0[1]) > 1e-9 {
+		t.Fatalf("eigenvector 0 = %v, want ±(1,1)/√2", v0)
+	}
+}
+
+func TestSymEigenRejectsAsymmetric(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	if _, _, err := SymEigen(a); err == nil {
+		t.Fatal("asymmetric matrix should error")
+	}
+	b := NewDense(2, 3)
+	if _, _, err := SymEigen(b); err == nil {
+		t.Fatal("non-square matrix should error")
+	}
+}
+
+// Property: for random symmetric matrices, A·v = λ·v for every pair and
+// the eigenvectors are orthonormal.
+func TestSymEigenProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		vals, vecs, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < n; k++ {
+			v := vecs.Row(k)
+			av := a.MulVec(v)
+			for i := 0; i < n; i++ {
+				if math.Abs(av[i]-vals[k]*v[i]) > 1e-7 {
+					return false
+				}
+			}
+			// Orthonormality.
+			for k2 := 0; k2 < n; k2++ {
+				dot := 0.0
+				v2 := vecs.Row(k2)
+				for i := 0; i < n; i++ {
+					dot += v[i] * v2[i]
+				}
+				want := 0.0
+				if k == k2 {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-8 {
+					return false
+				}
+			}
+			// Descending order.
+			if k > 0 && vals[k] > vals[k-1]+1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitPCARecoversDominantDirection(t *testing.T) {
+	// Data stretched along (1, 1) with tiny orthogonal noise.
+	rng := rand.New(rand.NewSource(3))
+	rows := make([][]float64, 500)
+	for i := range rows {
+		a := rng.NormFloat64() * 10
+		b := rng.NormFloat64() * 0.1
+		rows[i] = []float64{a + b, a - b}
+	}
+	p, err := FitPCA(rows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Components.Row(0)
+	// Should align with ±(1,1)/√2.
+	if math.Abs(math.Abs(c[0])-1/math.Sqrt2) > 0.01 || math.Abs(c[0]-c[1]) > 0.02 {
+		t.Fatalf("dominant component = %v, want ±(1,1)/√2", c)
+	}
+	if p.ExplainedVariance[0] < 50 {
+		t.Fatalf("explained variance = %v, want ≈100", p.ExplainedVariance[0])
+	}
+}
+
+func TestPCATransformReducesDimension(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rows := make([][]float64, 200)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	p, err := FitPCA(rows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.TransformAll(rows)
+	if len(out) != len(rows) || len(out[0]) != 2 {
+		t.Fatalf("TransformAll shape = %dx%d, want %dx2", len(out), len(out[0]), len(rows))
+	}
+}
+
+func TestPCAErrors(t *testing.T) {
+	if _, err := FitPCA(nil, 1); err == nil {
+		t.Fatal("empty dataset should error")
+	}
+	rows := [][]float64{{1, 2}, {3, 4}}
+	if _, err := FitPCA(rows, 0); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := FitPCA(rows, 3); err == nil {
+		t.Fatal("k>d should error")
+	}
+}
+
+// Property: reconstruction error is non-increasing as k grows, and k=d
+// reconstruction is (numerically) exact.
+func TestPCAReconstructionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const d = 4
+	rows := make([][]float64, 300)
+	for i := range rows {
+		row := make([]float64, d)
+		base := rng.NormFloat64()
+		for j := range row {
+			row[j] = base*float64(j+1) + rng.NormFloat64()*0.5
+		}
+		rows[i] = row
+	}
+	prev := math.Inf(1)
+	for k := 1; k <= d; k++ {
+		p, err := FitPCA(rows, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errSum := 0.0
+		for _, row := range rows {
+			rec := p.InverseTransform(p.Transform(row))
+			for j := range row {
+				dlt := row[j] - rec[j]
+				errSum += dlt * dlt
+			}
+		}
+		if errSum > prev+1e-6 {
+			t.Fatalf("reconstruction error increased at k=%d: %v > %v", k, errSum, prev)
+		}
+		prev = errSum
+	}
+	if prev > 1e-6 {
+		t.Fatalf("full-rank reconstruction error = %v, want ≈0", prev)
+	}
+}
+
+func BenchmarkSymEigen64(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	const n = 64
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SymEigen(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

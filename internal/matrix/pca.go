@@ -1,0 +1,88 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PCA is a fitted principal-component projection. Fit with FitPCA, then
+// Transform rows into the reduced space.
+type PCA struct {
+	// Components holds the top-k principal directions as rows (k×d).
+	Components *Dense
+	// Means holds the per-column means subtracted before projection.
+	Means []float64
+	// ExplainedVariance holds the eigenvalue associated with each
+	// component, in descending order.
+	ExplainedVariance []float64
+}
+
+// FitPCA fits a k-component PCA to a row-major dataset. k must be in
+// [1, d] where d is the input dimensionality.
+func FitPCA(rows [][]float64, k int) (*PCA, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("matrix: PCA of empty dataset")
+	}
+	d := len(rows[0])
+	if k < 1 || k > d {
+		return nil, fmt.Errorf("matrix: PCA components k=%d out of range [1, %d]", k, d)
+	}
+	cov, means, err := Covariance(rows)
+	if err != nil {
+		return nil, err
+	}
+	vals, vecs, err := SymEigen(cov)
+	if err != nil {
+		return nil, err
+	}
+	comp := NewDense(k, d)
+	for i := 0; i < k; i++ {
+		copy(comp.Row(i), vecs.Row(i))
+	}
+	return &PCA{
+		Components:        comp,
+		Means:             means,
+		ExplainedVariance: vals[:k],
+	}, nil
+}
+
+// Transform projects one point into the principal subspace.
+func (p *PCA) Transform(x []float64) []float64 {
+	d := p.Components.Cols
+	if len(x) != d {
+		panic(fmt.Sprintf("matrix: PCA.Transform dimension mismatch: %d vs %d", len(x), d))
+	}
+	centered := make([]float64, d)
+	for j, v := range x {
+		centered[j] = v - p.Means[j]
+	}
+	return p.Components.MulVec(centered)
+}
+
+// TransformAll projects every row, returning a new dataset.
+func (p *PCA) TransformAll(rows [][]float64) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i, row := range rows {
+		out[i] = p.Transform(row)
+	}
+	return out
+}
+
+// InverseTransform maps a reduced point back into the original space
+// (lossy when k < d): x ≈ meansᵀ + Σ_i z_i · component_i.
+func (p *PCA) InverseTransform(z []float64) []float64 {
+	k, d := p.Components.Rows, p.Components.Cols
+	if len(z) != k {
+		panic(fmt.Sprintf("matrix: PCA.InverseTransform dimension mismatch: %d vs %d", len(z), k))
+	}
+	out := make([]float64, d)
+	copy(out, p.Means)
+	for i := 0; i < k; i++ {
+		comp := p.Components.Row(i)
+		zi := z[i]
+		for j := 0; j < d; j++ {
+			out[j] += zi * comp[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+// Package levelset builds the density level-set analyses that motivate
+// tKDC (Section 2.1 of the paper) on top of the classifier: quantile
+// ladders that bracket a point's density quantile (density-based
+// p-values, Figure 2b) and 2-d contour extraction (region-boundary
+// visualization, Figures 1b and 2a).
+package levelset
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"tkdc"
+)
+
+// Ladder is a stack of tKDC classifiers trained at increasing quantile
+// levels p₁ < p₂ < … < p_k over the same dataset. Because the thresholds
+// t(p) are nested, classifying a point against each level brackets the
+// point's density quantile — the fraction of the dataset lying in
+// sparser regions — which is the density-based p-value used for
+// statistical testing.
+type Ladder struct {
+	ps   []float64
+	clfs []*tkdc.Classifier
+}
+
+// TrainLadder trains one classifier per quantile level. Levels must be
+// strictly increasing within (0, 1). The same Config is used for every
+// level (its P field is overridden per level).
+func TrainLadder(data [][]float64, levels []float64, cfg tkdc.Config) (*Ladder, error) {
+	if len(levels) == 0 {
+		return nil, errors.New("levelset: no quantile levels")
+	}
+	if !sort.Float64sAreSorted(levels) {
+		return nil, errors.New("levelset: quantile levels must be sorted ascending")
+	}
+	for i, p := range levels {
+		if p <= 0 || p >= 1 {
+			return nil, fmt.Errorf("levelset: level %d = %v must be in (0, 1)", i, p)
+		}
+		if i > 0 && p == levels[i-1] {
+			return nil, fmt.Errorf("levelset: duplicate level %v", p)
+		}
+	}
+	l := &Ladder{
+		ps:   append([]float64(nil), levels...),
+		clfs: make([]*tkdc.Classifier, len(levels)),
+	}
+	for i, p := range levels {
+		cfg.P = p
+		clf, err := tkdc.Train(data, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("levelset: level p=%v: %w", p, err)
+		}
+		l.clfs[i] = clf
+	}
+	return l, nil
+}
+
+// Levels returns the quantile levels (ascending).
+func (l *Ladder) Levels() []float64 { return l.ps }
+
+// Thresholds returns the density threshold t(p) at each level.
+func (l *Ladder) Thresholds() []float64 {
+	out := make([]float64, len(l.clfs))
+	for i, c := range l.clfs {
+		out[i] = c.Threshold()
+	}
+	return out
+}
+
+// Classifier returns the trained classifier for level i.
+func (l *Ladder) Classifier(i int) *tkdc.Classifier { return l.clfs[i] }
+
+// Bracket returns an interval (lo, hi] containing x's density quantile:
+// the fraction of the training data with lower density. A point LOW at
+// every level brackets to (0, p₁]; a point HIGH at every level brackets
+// to (p_k, 1]. Results are accurate up to the classifiers' ε bands.
+func (l *Ladder) Bracket(x []float64) (lo, hi float64, err error) {
+	lo, hi = 0, 1
+	for i, clf := range l.clfs {
+		label, err := clf.Classify(x)
+		if err != nil {
+			return 0, 0, err
+		}
+		if label == tkdc.Low {
+			// Density below t(p_i): quantile ≤ p_i.
+			return lo, l.ps[i], nil
+		}
+		lo = l.ps[i]
+	}
+	return lo, 1, nil
+}
+
+// PValueAtMost reports whether x's density-quantile p-value is certified
+// to be at most alpha — i.e., whether x lies in the sparsest alpha
+// fraction of the distribution according to some ladder level ≤ alpha.
+// It requires a ladder level at or below alpha; absent one, it returns
+// an error naming the closest usable level.
+func (l *Ladder) PValueAtMost(x []float64, alpha float64) (bool, error) {
+	best := -1
+	for i, p := range l.ps {
+		if p <= alpha {
+			best = i
+		}
+	}
+	if best < 0 {
+		return false, fmt.Errorf("levelset: no ladder level at or below alpha=%v (smallest is %v)", alpha, l.ps[0])
+	}
+	label, err := l.clfs[best].Classify(x)
+	if err != nil {
+		return false, err
+	}
+	return label == tkdc.Low, nil
+}

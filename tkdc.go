@@ -1,0 +1,121 @@
+// Package tkdc implements thresholded kernel density classification
+// (tKDC) from Gan & Bailis, "Scalable Kernel Density Classification via
+// Threshold-Based Pruning", SIGMOD 2017.
+//
+// Density classification labels query points HIGH or LOW depending on
+// whether their kernel density estimate lies above or below a threshold
+// t(p) — the p-quantile of the training densities. tKDC avoids computing
+// exact densities: it traverses a k-d tree maintaining certified upper
+// and lower density bounds and stops as soon as the bounds fall on one
+// side of the threshold (the threshold rule) or are within ε·t of each
+// other (the tolerance rule). For d-dimensional data this reduces the
+// per-query cost from O(n) to O(n^{(d−1)/d}) — O(log n) when d = 1 —
+// while guaranteeing that every point whose density is farther than ε·t
+// from the threshold is classified exactly as an exact KDE would.
+//
+// Basic usage:
+//
+//	clf, err := tkdc.Train(data, tkdc.DefaultConfig())
+//	if err != nil { ... }
+//	label, err := clf.Classify(query)   // tkdc.High or tkdc.Low
+//
+// DefaultConfig matches the paper's Table 1 defaults: classification rate
+// p = 0.01, multiplicative error ε = 0.01, bound failure probability
+// δ = 0.01, Scott's-rule bandwidths, Gaussian kernels, an equi-width k-d
+// tree, and a hypergrid inlier cache for d ≤ 4.
+//
+// The classifier is immutable once trained and safe for concurrent
+// queries; set Config.Workers to fan batch classification out over
+// goroutines.
+package tkdc
+
+import (
+	"io"
+
+	"tkdc/internal/core"
+	"tkdc/internal/kdtree"
+)
+
+// Config carries the density-classification parameters (Table 1 of the
+// paper) and implementation knobs. See DefaultConfig for the defaults.
+type Config = core.Config
+
+// Classifier is a trained tKDC model: immutable and safe for concurrent
+// queries.
+type Classifier = core.Classifier
+
+// Label is a density classification outcome: High or Low.
+type Label = core.Label
+
+// Result carries a classification together with the certified density
+// bounds behind it.
+type Result = core.Result
+
+// QueryStats counts the work one density query performed.
+type QueryStats = core.QueryStats
+
+// Counters aggregates query work since training.
+type Counters = core.Counters
+
+// TrainStats describes the training phase: bandwidths, threshold bounds,
+// bootstrap rounds, and kernel evaluations spent.
+type TrainStats = core.TrainStats
+
+// KernelFamily selects the kernel used by the density estimate.
+type KernelFamily = core.KernelFamily
+
+// SplitRule selects the k-d tree partitioning strategy.
+type SplitRule = kdtree.SplitRule
+
+// Classification labels.
+const (
+	// Low marks a point whose density is below the threshold (an outlier
+	// for small p).
+	Low = core.Low
+	// High marks a point whose density is above the threshold.
+	High = core.High
+)
+
+// Kernel families.
+const (
+	// KernelGaussian is the paper's default Gaussian product kernel.
+	KernelGaussian = core.KernelGaussian
+	// KernelEpanechnikov is a finite-support alternative kernel.
+	KernelEpanechnikov = core.KernelEpanechnikov
+)
+
+// k-d tree split rules.
+const (
+	// SplitEquiWidth splits nodes at the trimmed midpoint
+	// (x⁽¹⁰⁾+x⁽⁹⁰⁾)/2 — the paper's tKDC default (Section 3.7).
+	SplitEquiWidth = kdtree.SplitEquiWidth
+	// SplitMedian produces a balanced tree (the classic construction).
+	SplitMedian = kdtree.SplitMedian
+)
+
+// DefaultConfig returns the paper's Table 1 parameter defaults.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Train fits a tKDC classifier: it bootstraps probabilistic threshold
+// bounds from growing subsamples (Algorithm 3), builds the spatial index
+// and grid cache, and refines the threshold to t̃(p) by scoring every
+// training point with threshold-pruned traversals (Algorithm 1).
+//
+// The row slices are referenced, not copied; callers must not mutate them
+// after Train returns. Training is deterministic for a fixed Config.Seed.
+func Train(data [][]float64, cfg Config) (*Classifier, error) {
+	return core.Train(data, cfg)
+}
+
+// TrainDefault is Train with DefaultConfig.
+func TrainDefault(data [][]float64) (*Classifier, error) {
+	return core.Train(data, core.DefaultConfig())
+}
+
+// Load reconstructs a classifier previously serialized with
+// Classifier.Save. The spatial index is rebuilt deterministically from
+// the stored data; the persisted threshold is reused, so loading skips
+// the training phase entirely.
+func Load(r io.Reader) (*Classifier, error) {
+	return core.Load(r)
+}
