@@ -20,6 +20,7 @@ import (
 	"tkdc/internal/dataset"
 	"tkdc/internal/kdtree"
 	"tkdc/internal/kernel"
+	"tkdc/internal/points"
 )
 
 // benchCache memoizes datasets and trained models across sub-benchmarks.
@@ -49,6 +50,13 @@ func benchData(b *testing.B, name string, n, d int) [][]float64 {
 			return dataset.TakeColumns(rows, d)
 		}
 		return rows, nil
+	})
+}
+
+// benchStore memoizes the flat-storage copy of a cached dataset.
+func benchStore(b *testing.B, key string, data [][]float64) *points.Store {
+	return cached(b, "store/"+key, func() (*points.Store, error) {
+		return points.FromRows(data)
 	})
 }
 
@@ -83,15 +91,16 @@ func BenchmarkTable2Algorithms(b *testing.B) {
 		clf := benchClassifier(b, "tab2", data, nil)
 		scoreLoop(b, clf, data)
 	})
+	pts := benchStore(b, "tab2", data)
 	kern := cached(b, "tab2/kern", func() (kernel.Kernel, error) {
-		h, err := kernel.ScottBandwidths(data, 1)
+		h, err := kernel.ScottBandwidths(pts, 1)
 		if err != nil {
 			return nil, err
 		}
 		return kernel.NewGaussian(h)
 	})
 	b.Run("simple", func(b *testing.B) {
-		s := baseline.NewSimple(data, kern)
+		s := baseline.NewSimple(pts, kern)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			s.Density(data[i%len(data)])
@@ -99,7 +108,7 @@ func BenchmarkTable2Algorithms(b *testing.B) {
 	})
 	b.Run("nocut", func(b *testing.B) {
 		nc := cached(b, "tab2/nocut", func() (*baseline.NoCut, error) {
-			return baseline.NewNoCut(data, kern, 0.01)
+			return baseline.NewNoCut(pts, kern, 0.01)
 		})
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -108,7 +117,7 @@ func BenchmarkTable2Algorithms(b *testing.B) {
 	})
 	b.Run("rkde", func(b *testing.B) {
 		rk := cached(b, "tab2/rkde", func() (*baseline.RKDE, error) {
-			return baseline.NewRKDE(data, kern, 4)
+			return baseline.NewRKDE(pts, kern, 4)
 		})
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -117,7 +126,7 @@ func BenchmarkTable2Algorithms(b *testing.B) {
 	})
 	b.Run("binned", func(b *testing.B) {
 		bn := cached(b, "tab2/binned", func() (*baseline.Binned, error) {
-			return baseline.NewBinned(data, kern)
+			return baseline.NewBinned(pts, kern)
 		})
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -147,6 +156,20 @@ func BenchmarkTable3Generators(b *testing.B) {
 
 // BenchmarkFig1ShuttleClassify measures density classification on the
 // 2-d shuttle-like measurements of Figure 1.
+// BenchmarkScore measures steady-state Classifier.Score on 50k-point
+// Gaussian datasets at low and moderate dimensionality — the reference
+// numbers for storage-layout changes on the leaf-scan hot path.
+func BenchmarkScore(b *testing.B) {
+	const n = 50000
+	for _, d := range []int{2, 8} {
+		data := benchData(b, "gauss", n, d)
+		clf := benchClassifier(b, fmt.Sprintf("score/%d/%d", n, d), data, nil)
+		b.Run(fmt.Sprintf("d%d", d), func(b *testing.B) {
+			scoreLoop(b, clf, data)
+		})
+	}
+}
+
 func BenchmarkFig1ShuttleClassify(b *testing.B) {
 	data := benchData(b, "shuttle", 20000, 2)
 	clf := benchClassifier(b, "fig1", data, nil)
@@ -192,14 +215,15 @@ func BenchmarkFig7Throughput(b *testing.B) {
 // the Figure 8 accuracy comparison.
 func BenchmarkFig8Accuracy(b *testing.B) {
 	data := benchData(b, "tmy3", 2000, 4)
+	pts := benchStore(b, "fig8", data)
 	kern := cached(b, "fig8/kern", func() (kernel.Kernel, error) {
-		h, err := kernel.ScottBandwidths(data, 1)
+		h, err := kernel.ScottBandwidths(pts, 1)
 		if err != nil {
 			return nil, err
 		}
 		return kernel.NewGaussian(h)
 	})
-	s := baseline.NewSimple(data, kern)
+	s := baseline.NewSimple(pts, kern)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Density(data[i%len(data)])
@@ -287,8 +311,9 @@ func BenchmarkFig12FactorAnalysis(b *testing.B) {
 // radii (the Figure 13 series).
 func BenchmarkFig13RadiusSweep(b *testing.B) {
 	data := benchData(b, "tmy3", 15000, 4)
+	pts := benchStore(b, "fig13", data)
 	kern := cached(b, "fig13/kern", func() (kernel.Kernel, error) {
-		h, err := kernel.ScottBandwidths(data, 1)
+		h, err := kernel.ScottBandwidths(pts, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -298,7 +323,7 @@ func BenchmarkFig13RadiusSweep(b *testing.B) {
 		radius := radius
 		b.Run(fmt.Sprintf("r=%.1f", radius), func(b *testing.B) {
 			rk := cached(b, fmt.Sprintf("fig13/%v", radius), func() (*baseline.RKDE, error) {
-				return baseline.NewRKDE(data, kern, radius)
+				return baseline.NewRKDE(pts, kern, radius)
 			})
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -15,6 +15,7 @@ package baseline
 
 import (
 	"tkdc/internal/kernel"
+	"tkdc/internal/points"
 )
 
 // Estimator is a kernel density estimator with a work counter. Estimators
@@ -33,34 +34,31 @@ type Estimator interface {
 }
 
 // Simple is the naive estimator: every density query sums the kernel
-// contribution of every training point exactly.
+// contribution of every training point exactly, in one contiguous sweep
+// of the flat buffer.
 type Simple struct {
-	data    [][]float64
+	data    *points.Store
 	kern    kernel.Kernel
-	invH2   []float64
 	kernels int64
 }
 
 // NewSimple builds the naive estimator over data with the given kernel.
-func NewSimple(data [][]float64, kern kernel.Kernel) *Simple {
-	return &Simple{data: data, kern: kern, invH2: kern.InvBandwidthsSq()}
+func NewSimple(data *points.Store, kern kernel.Kernel) *Simple {
+	return &Simple{data: data, kern: kern}
 }
 
 // Name returns "simple".
 func (s *Simple) Name() string { return "simple" }
 
 // N returns the training set size.
-func (s *Simple) N() int { return len(s.data) }
+func (s *Simple) N() int { return s.data.Len() }
 
 // Kernels returns total kernel evaluations.
 func (s *Simple) Kernels() int64 { return s.kernels }
 
 // Density computes the exact kernel density in Θ(n).
 func (s *Simple) Density(x []float64) float64 {
-	sum := 0.0
-	for _, p := range s.data {
-		sum += s.kern.FromScaledSqDist(kernel.ScaledSqDist(x, p, s.invH2))
-	}
-	s.kernels += int64(len(s.data))
-	return sum / float64(len(s.data))
+	n := s.data.Len()
+	s.kernels += int64(n)
+	return kernel.Sum(s.kern, x, s.data.Data) / float64(n)
 }

@@ -7,16 +7,13 @@ import (
 	"testing/quick"
 
 	"tkdc/internal/kernel"
+	"tkdc/internal/points"
 )
 
-func makeData(rng *rand.Rand, n, d int) ([][]float64, kernel.Kernel) {
-	pts := make([][]float64, n)
-	for i := range pts {
-		row := make([]float64, d)
-		for j := range row {
-			row[j] = rng.NormFloat64() * 3
-		}
-		pts[i] = row
+func makeData(rng *rand.Rand, n, d int) (*points.Store, kernel.Kernel) {
+	pts := points.New(n, d)
+	for i := range pts.Data {
+		pts.Data[i] = rng.NormFloat64() * 3
 	}
 	h, err := kernel.ScottBandwidths(pts, 1)
 	if err != nil {
@@ -30,13 +27,13 @@ func makeData(rng *rand.Rand, n, d int) ([][]float64, kernel.Kernel) {
 }
 
 // exact computes the reference density by direct summation.
-func exact(pts [][]float64, kern kernel.Kernel, x []float64) float64 {
+func exact(pts *points.Store, kern kernel.Kernel, x []float64) float64 {
 	invH2 := kern.InvBandwidthsSq()
 	sum := 0.0
-	for _, p := range pts {
-		sum += kern.FromScaledSqDist(kernel.ScaledSqDist(x, p, invH2))
+	for i := 0; i < pts.Len(); i++ {
+		sum += kern.FromScaledSqDist(kernel.ScaledSqDist(x, pts.Row(i), invH2))
 	}
-	return sum / float64(len(pts))
+	return sum / float64(pts.Len())
 }
 
 func TestSimpleMatchesExact(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"tkdc/internal/kernel"
+	"tkdc/internal/points"
 )
 
 // defaultBinsPerDim mirrors the R "ks" package's default grid sizes for
@@ -39,7 +40,7 @@ type Binned struct {
 }
 
 // NewBinned builds a binned estimator with ks-style default grid sizes.
-func NewBinned(data [][]float64, kern kernel.Kernel) (*Binned, error) {
+func NewBinned(data *points.Store, kern kernel.Kernel) (*Binned, error) {
 	d := kern.Dim()
 	if d > MaxBinnedDim {
 		return nil, fmt.Errorf("baseline: binned estimator supports at most %d dimensions, got %d", MaxBinnedDim, d)
@@ -49,8 +50,8 @@ func NewBinned(data [][]float64, kern kernel.Kernel) (*Binned, error) {
 
 // NewBinnedWithBins builds a binned estimator with binsPerDim grid nodes
 // along every dimension.
-func NewBinnedWithBins(data [][]float64, kern kernel.Kernel, binsPerDim int) (*Binned, error) {
-	if len(data) == 0 {
+func NewBinnedWithBins(data *points.Store, kern kernel.Kernel, binsPerDim int) (*Binned, error) {
+	if data.Len() == 0 {
 		return nil, fmt.Errorf("baseline: binned estimator needs data")
 	}
 	d := kern.Dim()
@@ -60,11 +61,14 @@ func NewBinnedWithBins(data [][]float64, kern kernel.Kernel, binsPerDim int) (*B
 	if binsPerDim < 2 {
 		return nil, fmt.Errorf("baseline: binsPerDim = %d must be at least 2", binsPerDim)
 	}
+	if data.Dim != d {
+		return nil, fmt.Errorf("baseline: data dimension %d, want %d", data.Dim, d)
+	}
 
 	b := &Binned{
 		kern:   kern,
 		invH2:  kern.InvBandwidthsSq(),
-		n:      len(data),
+		n:      data.Len(),
 		dim:    d,
 		bins:   make([]int, d),
 		origin: make([]float64, d),
@@ -76,13 +80,12 @@ func NewBinnedWithBins(data [][]float64, kern kernel.Kernel, binsPerDim int) (*B
 	// Grid range: data extent padded by 3 bandwidths per side.
 	lo := make([]float64, d)
 	hi := make([]float64, d)
-	copy(lo, data[0])
-	copy(hi, data[0])
-	for _, row := range data {
-		if len(row) != d {
-			return nil, fmt.Errorf("baseline: row dimension %d, want %d", len(row), d)
-		}
-		for j, v := range row {
+	copy(lo, data.Row(0))
+	copy(hi, data.Row(0))
+	flat := data.Data
+	for off := 0; off < len(flat); off += d {
+		for j := 0; j < d; j++ {
+			v := flat[off+j]
 			if v < lo[j] {
 				lo[j] = v
 			}
@@ -114,8 +117,9 @@ func NewBinnedWithBins(data [][]float64, kern kernel.Kernel, binsPerDim int) (*B
 	// nodes of its enclosing cell, proportional to proximity.
 	gpos := make([]float64, d)
 	gidx := make([]int, d)
-	for _, row := range data {
-		for j, v := range row {
+	for base := 0; base < len(flat); base += d {
+		for j := 0; j < d; j++ {
+			v := flat[base+j]
 			g := (v - b.origin[j]) / b.width[j]
 			i0 := int(math.Floor(g))
 			if i0 < 0 {

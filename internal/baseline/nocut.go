@@ -3,6 +3,7 @@ package baseline
 import (
 	"tkdc/internal/kdtree"
 	"tkdc/internal/kernel"
+	"tkdc/internal/points"
 )
 
 // NoCut is the tolerance-only tree traversal of Gray & Moore: it refines
@@ -26,7 +27,7 @@ type nodeBound struct {
 
 // NewNoCut builds the tolerance-only estimator. eps is the relative error
 // target (0.01 in the paper's experiments); eps ≤ 0 computes exactly.
-func NewNoCut(data [][]float64, kern kernel.Kernel, eps float64) (*NoCut, error) {
+func NewNoCut(data *points.Store, kern kernel.Kernel, eps float64) (*NoCut, error) {
 	tree, err := kdtree.Build(data, kdtree.Options{})
 	if err != nil {
 		return nil, err
@@ -56,7 +57,7 @@ func (nc *NoCut) Bounds(x []float64) (fl, fu float64) {
 	n := float64(nc.tree.Size)
 
 	weights := func(nd *kdtree.Node) (wlo, whi float64) {
-		frac := float64(nd.Count) / n
+		frac := float64(nd.Count()) / n
 		wlo = frac * nc.kern.FromScaledSqDist(nd.MaxSqDist(x, nc.invH2))
 		whi = frac * nc.kern.FromScaledSqDist(nd.MinSqDist(x, nc.invH2))
 		nc.kernels += 2
@@ -75,11 +76,8 @@ func (nc *NoCut) Bounds(x []float64) (fl, fu float64) {
 		fl -= cur.wlo
 		fu -= cur.whi
 		if cur.node.IsLeaf() {
-			sum := 0.0
-			for _, p := range cur.node.Points {
-				sum += nc.kern.FromScaledSqDist(kernel.ScaledSqDist(x, p, nc.invH2))
-			}
-			nc.kernels += int64(len(cur.node.Points))
+			sum := kernel.Sum(nc.kern, x, nc.tree.Leaf(cur.node))
+			nc.kernels += int64(cur.node.Count())
 			sum /= n
 			fl += sum
 			fu += sum

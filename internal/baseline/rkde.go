@@ -6,6 +6,7 @@ import (
 
 	"tkdc/internal/kdtree"
 	"tkdc/internal/kernel"
+	"tkdc/internal/points"
 )
 
 // RKDE is the radial KDE baseline: a range query on the k-d tree collects
@@ -25,7 +26,7 @@ type RKDE struct {
 // NewRKDE builds a radial estimator with the given cutoff radius,
 // expressed in bandwidth multiples (the x-axis of Figure 13). radius must
 // be positive.
-func NewRKDE(data [][]float64, kern kernel.Kernel, radius float64) (*RKDE, error) {
+func NewRKDE(data *points.Store, kern kernel.Kernel, radius float64) (*RKDE, error) {
 	if math.IsNaN(radius) || radius <= 0 {
 		return nil, fmt.Errorf("baseline: rkde radius = %v must be positive", radius)
 	}

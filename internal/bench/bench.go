@@ -20,6 +20,7 @@ import (
 	"tkdc/internal/baseline"
 	"tkdc/internal/core"
 	"tkdc/internal/kernel"
+	"tkdc/internal/points"
 	"tkdc/internal/stats"
 )
 
@@ -209,10 +210,16 @@ func (p BaselineParams) normalized() BaselineParams {
 	return p
 }
 
-// NewBaseline constructs a Table 2 estimator over data.
+// NewBaseline constructs a Table 2 estimator over data. The rows are
+// copied into flat storage once, here at the harness boundary; every
+// estimator below works on the contiguous buffer.
 func NewBaseline(kind BaselineKind, data [][]float64, params BaselineParams) (baseline.Estimator, error) {
 	params = params.normalized()
-	h, err := kernel.ScottBandwidths(data, params.BandwidthFactor)
+	pts, err := points.FromRows(data)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	h, err := kernel.ScottBandwidths(pts, params.BandwidthFactor)
 	if err != nil {
 		return nil, err
 	}
@@ -222,46 +229,42 @@ func NewBaseline(kind BaselineKind, data [][]float64, params BaselineParams) (ba
 	}
 	switch kind {
 	case Simple:
-		return baseline.NewSimple(data, kern), nil
+		return baseline.NewSimple(pts, kern), nil
 	case NoCut:
-		return baseline.NewNoCut(data, kern, params.Epsilon)
+		return baseline.NewNoCut(pts, kern, params.Epsilon)
 	case RKDE:
 		radius := params.Radius
 		if radius <= 0 {
 			// Paper default: smallest radius guaranteeing error ε·t. We
 			// estimate t cheaply from a small exact density sample.
-			t := sampleThreshold(data, kern, 200, 0.01)
+			t := sampleThreshold(pts, kern, 200, 0.01)
 			radius, err = baseline.RadiusForError(kern, params.Epsilon*t)
 			if err != nil {
 				return nil, err
 			}
 		}
-		return baseline.NewRKDE(data, kern, radius)
+		return baseline.NewRKDE(pts, kern, radius)
 	case Binned:
-		return baseline.NewBinned(data, kern)
+		return baseline.NewBinned(pts, kern)
 	default:
 		return nil, fmt.Errorf("bench: unknown baseline %q", kind)
 	}
 }
 
 // sampleThreshold estimates t(p) from exact densities of a small sample.
-func sampleThreshold(data [][]float64, kern kernel.Kernel, sample int, p float64) float64 {
-	if sample > len(data) {
-		sample = len(data)
+func sampleThreshold(pts *points.Store, kern kernel.Kernel, sample int, p float64) float64 {
+	n := pts.Len()
+	if sample > n {
+		sample = n
 	}
-	invH2 := kern.InvBandwidthsSq()
 	ds := make([]float64, sample)
-	stride := len(data) / sample
+	stride := n / sample
 	if stride < 1 {
 		stride = 1
 	}
 	for i := 0; i < sample; i++ {
-		q := data[i*stride]
-		sum := 0.0
-		for _, pt := range data {
-			sum += kern.FromScaledSqDist(kernel.ScaledSqDist(q, pt, invH2))
-		}
-		ds[i] = sum / float64(len(data))
+		q := pts.Row(i * stride)
+		ds[i] = kernel.Sum(kern, q, pts.Data) / float64(n)
 	}
 	sort.Float64s(ds)
 	t, err := stats.SortedQuantile(ds, p)

@@ -7,6 +7,7 @@ import (
 
 	"tkdc/internal/core"
 	"tkdc/internal/dataset"
+	"tkdc/internal/points"
 )
 
 // tinyOpts keeps experiments test-sized.
@@ -132,7 +133,11 @@ func TestFig8AccuracyF1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	truth, threshold, err := exactGroundTruth(data, 0.01)
+	pts, err := points.FromRows(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, threshold, err := exactGroundTruth(pts, 0.01)
 	if err != nil {
 		t.Fatal(err)
 	}

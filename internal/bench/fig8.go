@@ -8,6 +8,7 @@ import (
 	"tkdc/internal/core"
 	"tkdc/internal/dataset"
 	"tkdc/internal/kernel"
+	"tkdc/internal/points"
 	"tkdc/internal/stats"
 )
 
@@ -48,7 +49,11 @@ func Figure8(opts Options) ([]Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			truth, _, err := exactGroundTruth(data, p)
+			pts, err := points.FromRows(data)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %w", err)
+			}
+			truth, _, err := exactGroundTruth(pts, p)
 			if err != nil {
 				return nil, err
 			}
@@ -58,7 +63,7 @@ func Figure8(opts Options) ([]Table, error) {
 				return nil, fmt.Errorf("tkdc %s d=%d: %w", pn.dataset, d, err)
 			}
 
-			h, err := kernel.ScottBandwidths(data, 1)
+			h, err := kernel.ScottBandwidths(pts, 1)
 			if err != nil {
 				return nil, err
 			}
@@ -66,19 +71,19 @@ func Figure8(opts Options) ([]Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			nc, err := baseline.NewNoCut(data, kern, 0.01)
+			nc, err := baseline.NewNoCut(pts, kern, 0.01)
 			if err != nil {
 				return nil, err
 			}
-			nocutF1 := estimatorAccuracy(nc, data, kern, p, truth)
+			nocutF1 := estimatorAccuracy(nc, pts, kern, p, truth)
 
 			binnedCell := "-"
 			if d <= baseline.MaxBinnedDim {
-				bn, err := baseline.NewBinned(data, kern)
+				bn, err := baseline.NewBinned(pts, kern)
 				if err != nil {
 					return nil, err
 				}
-				binnedCell = fmt.Sprintf("%.3f", estimatorAccuracy(bn, data, kern, p, truth))
+				binnedCell = fmt.Sprintf("%.3f", estimatorAccuracy(bn, pts, kern, p, truth))
 			}
 			t.AddRow(pn.dataset, fmt.Sprintf("%d", d),
 				fmt.Sprintf("%.3f", tkdcF1),
@@ -96,8 +101,8 @@ func Figure8(opts Options) ([]Table, error) {
 // classified by comparing its plain density f(x) against that threshold.
 // truth[i] is true when point i is below the threshold (the positive
 // class).
-func exactGroundTruth(data [][]float64, p float64) (truth []bool, threshold float64, err error) {
-	h, err := kernel.ScottBandwidths(data, 1)
+func exactGroundTruth(pts *points.Store, p float64) (truth []bool, threshold float64, err error) {
+	h, err := kernel.ScottBandwidths(pts, 1)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -105,11 +110,12 @@ func exactGroundTruth(data [][]float64, p float64) (truth []bool, threshold floa
 	if err != nil {
 		return nil, 0, err
 	}
-	s := baseline.NewSimple(data, kern)
-	self := kern.AtZero() / float64(len(data))
-	ds := make([]float64, len(data))
-	for i, x := range data {
-		ds[i] = s.Density(x)
+	s := baseline.NewSimple(pts, kern)
+	n := pts.Len()
+	self := kern.AtZero() / float64(n)
+	ds := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ds[i] = s.Density(pts.Row(i))
 	}
 	sorted := make([]float64, len(ds))
 	for i, d := range ds {
@@ -120,7 +126,7 @@ func exactGroundTruth(data [][]float64, p float64) (truth []bool, threshold floa
 	if err != nil {
 		return nil, 0, err
 	}
-	truth = make([]bool, len(data))
+	truth = make([]bool, n)
 	for i, d := range ds {
 		truth[i] = d < threshold
 	}
@@ -151,11 +157,12 @@ func tkdcAccuracy(data [][]float64, p float64, seed int64, truth []bool) (float6
 // as exactGroundTruth: densities for all points, own corrected-quantile
 // threshold, plain densities classified against it, F1 against ground
 // truth.
-func estimatorAccuracy(est baseline.Estimator, data [][]float64, kern kernel.Kernel, p float64, truth []bool) float64 {
-	self := kern.AtZero() / float64(len(data))
-	ds := make([]float64, len(data))
-	for i, x := range data {
-		ds[i] = est.Density(x)
+func estimatorAccuracy(est baseline.Estimator, pts *points.Store, kern kernel.Kernel, p float64, truth []bool) float64 {
+	n := pts.Len()
+	self := kern.AtZero() / float64(n)
+	ds := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ds[i] = est.Density(pts.Row(i))
 	}
 	sorted := make([]float64, len(ds))
 	for i, d := range ds {

@@ -13,6 +13,7 @@ import (
 	"tkdc/internal/grid"
 	"tkdc/internal/kdtree"
 	"tkdc/internal/kernel"
+	"tkdc/internal/points"
 	"tkdc/internal/stats"
 )
 
@@ -86,7 +87,7 @@ type TrainStats struct {
 type Classifier struct {
 	cfg  Config
 	dim  int
-	data [][]float64
+	data *points.Store
 
 	kern        kernel.Kernel
 	tree        *kdtree.Tree
@@ -107,34 +108,52 @@ type Classifier struct {
 	nodesVisited atomic.Int64
 }
 
-// Train fits a tKDC classifier to the dataset: it bootstraps threshold
-// bounds (Algorithm 3), builds the spatial index and grid cache, scores
-// every training point to refine the threshold to t̃(p), and returns a
-// classifier ready to serve queries (Algorithm 1).
-//
-// The point slices are referenced, not copied; callers must not mutate
-// them afterwards.
+// Train fits a tKDC classifier to a slice-of-rows dataset. The rows are
+// copied into flat storage up front, so the caller remains free to reuse
+// or mutate them after Train returns. See TrainStore for the training
+// pipeline.
 func Train(data [][]float64, cfg Config) (*Classifier, error) {
+	if len(data) == 0 {
+		return nil, errors.New("core: empty training dataset")
+	}
+	store, err := points.FromRows(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return TrainStore(store, cfg)
+}
+
+// TrainFlat fits a tKDC classifier to data already in flat row-major
+// form: flat holds n·dim coordinates with point i at
+// flat[i*dim : (i+1)*dim]. The buffer is copied in, like Train.
+func TrainFlat(flat []float64, dim int, cfg Config) (*Classifier, error) {
+	store, err := points.FromFlat(flat, dim)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return TrainStore(store, cfg)
+}
+
+// TrainStore fits a tKDC classifier to flat storage: it bootstraps
+// threshold bounds (Algorithm 3), builds the spatial index and grid
+// cache, scores every training point to refine the threshold to t̃(p),
+// and returns a classifier ready to serve queries (Algorithm 1).
+//
+// The store is referenced, not copied; it must not be mutated afterwards
+// (the public tkdc entry points always pass a fresh copy).
+func TrainStore(data *points.Store, cfg Config) (*Classifier, error) {
 	cfg = cfg.normalized()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if len(data) == 0 {
+	if data.Len() == 0 {
 		return nil, errors.New("core: empty training dataset")
 	}
-	dim := len(data[0])
-	if dim == 0 {
+	if data.Dim == 0 {
 		return nil, errors.New("core: zero-dimensional training data")
 	}
-	for i, row := range data {
-		if len(row) != dim {
-			return nil, fmt.Errorf("core: row %d has dimension %d, want %d", i, len(row), dim)
-		}
-		for j, v := range row {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, fmt.Errorf("core: row %d coordinate %d is %v", i, j, v)
-			}
-		}
+	if err := data.CheckFinite(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -146,40 +165,11 @@ func Train(data [][]float64, cfg Config) (*Classifier, error) {
 	}
 
 	// Phase 2: full index, kernel, and grid.
-	h, err := kernel.ScottBandwidths(data, cfg.BandwidthFactor)
+	c, err := assemble(data, cfg)
 	if err != nil {
 		return nil, err
 	}
-	kern, err := newKernel(cfg.Kernel, h)
-	if err != nil {
-		return nil, err
-	}
-	tree, err := kdtree.Build(data, kdtree.Options{LeafSize: cfg.LeafSize, Split: cfg.Split})
-	if err != nil {
-		return nil, err
-	}
-
-	c := &Classifier{
-		cfg:         cfg,
-		dim:         dim,
-		data:        data,
-		kern:        kern,
-		tree:        tree,
-		tLow:        tb.lo,
-		tHigh:       tb.hi,
-		selfContrib: kern.AtZero() / float64(len(data)),
-	}
-	c.estPool.New = func() any {
-		return newDensityEstimator(c.tree, c.kern, cfg.DisableThresholdRule, cfg.DisableToleranceRule)
-	}
-	if !cfg.DisableGrid && dim <= cfg.MaxGridDim {
-		g, err := grid.New(data, h)
-		if err != nil {
-			return nil, err
-		}
-		c.grid = g
-		c.gridKDiag = kern.FromScaledSqDist(g.DiagSqScaled(kern.InvBandwidthsSq()))
-	}
+	c.tLow, c.tHigh = tb.lo, tb.hi
 
 	// Phase 3: score all training points to refine t̃(p) (Algorithm 1).
 	// If δ struck and the bootstrap bounds were invalid, detect it (t̃
@@ -212,9 +202,9 @@ func Train(data [][]float64, cfg Config) (*Classifier, error) {
 	}
 
 	c.train = TrainStats{
-		N:               len(data),
-		Dim:             dim,
-		Bandwidths:      h,
+		N:               data.Len(),
+		Dim:             c.dim,
+		Bandwidths:      c.kern.Bandwidths(),
 		ThresholdLow:    c.tLow,
 		ThresholdHigh:   c.tHigh,
 		Threshold:       c.threshold,
@@ -228,25 +218,73 @@ func Train(data [][]float64, cfg Config) (*Classifier, error) {
 	return c, nil
 }
 
+// assemble builds the deterministic serving machinery over a dataset —
+// bandwidths, kernel, spatial index, grid cache, and estimator pool —
+// shared by training and snapshot loading. Thresholds are left for the
+// caller to fill in.
+func assemble(data *points.Store, cfg Config) (*Classifier, error) {
+	h, err := kernel.ScottBandwidths(data, cfg.BandwidthFactor)
+	if err != nil {
+		return nil, err
+	}
+	kern, err := newKernel(cfg.Kernel, h)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := kdtree.Build(data, kdtree.Options{LeafSize: cfg.LeafSize, Split: cfg.Split})
+	if err != nil {
+		return nil, err
+	}
+	c := &Classifier{
+		cfg:         cfg,
+		dim:         data.Dim,
+		data:        data,
+		kern:        kern,
+		tree:        tree,
+		selfContrib: kern.AtZero() / float64(data.Len()),
+	}
+	c.estPool.New = func() any {
+		return newDensityEstimator(c.tree, c.kern, cfg.DisableThresholdRule, cfg.DisableToleranceRule)
+	}
+	if !cfg.DisableGrid && c.dim <= cfg.MaxGridDim {
+		g, err := grid.New(data, h)
+		if err != nil {
+			return nil, err
+		}
+		c.grid = g
+		c.gridKDiag = kern.FromScaledSqDist(g.DiagSqScaled(kern.InvBandwidthsSq()))
+	}
+	return c, nil
+}
+
+// effectiveWorkers returns the worker count batch passes fan out to: the
+// configured value clamped to a small multiple of GOMAXPROCS so a
+// misconfigured Workers can't spawn thousands of goroutines. Values
+// below 2 mean single-threaded.
+func (c *Classifier) effectiveWorkers() int {
+	w := c.cfg.Workers
+	if limit := runtime.GOMAXPROCS(0) * 4; w > limit {
+		w = limit
+	}
+	return w
+}
+
 // trainingDensities scores every training point against threshold bounds
 // (tl, tu), returning self-contribution-corrected density estimates.
 func (c *Classifier) trainingDensities(tl, tu float64) ([]float64, QueryStats) {
-	n := len(c.data)
+	n := c.data.Len()
 	densities := make([]float64, n)
-	workers := c.cfg.Workers
+	workers := c.effectiveWorkers()
 	if workers < 2 {
 		est := c.getEstimator()
 		defer c.putEstimator(est)
 		var qs QueryStats
-		for i, x := range c.data {
-			densities[i] = c.trainingDensityOne(est, x, tl, tu, &qs)
+		for i := 0; i < n; i++ {
+			densities[i] = c.trainingDensityOne(est, c.data.Row(i), tl, tu, &qs)
 		}
 		return densities, qs
 	}
 
-	if workers > runtime.GOMAXPROCS(0)*4 {
-		workers = runtime.GOMAXPROCS(0) * 4
-	}
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var total QueryStats
@@ -267,7 +305,7 @@ func (c *Classifier) trainingDensities(tl, tu float64) ([]float64, QueryStats) {
 			defer c.putEstimator(est)
 			var qs QueryStats
 			for i := lo; i < hi; i++ {
-				densities[i] = c.trainingDensityOne(est, c.data[i], tl, tu, &qs)
+				densities[i] = c.trainingDensityOne(est, c.data.Row(i), tl, tu, &qs)
 			}
 			mu.Lock()
 			total.add(qs)
@@ -309,6 +347,12 @@ func (c *Classifier) Score(x []float64) (Result, error) {
 	if err := c.checkQuery(x); err != nil {
 		return Result{}, err
 	}
+	return c.scoreChecked(x), nil
+}
+
+// scoreChecked is Score minus query validation, for batch paths that have
+// already validated their inputs.
+func (c *Classifier) scoreChecked(x []float64) Result {
 	c.queries.Add(1)
 
 	if c.grid != nil {
@@ -319,7 +363,7 @@ func (c *Classifier) Score(x []float64) (Result, error) {
 				Lower: lb,
 				Upper: math.Inf(1),
 				Stats: QueryStats{GridHit: true},
-			}, nil
+			}
 		}
 	}
 
@@ -333,59 +377,46 @@ func (c *Classifier) Score(x []float64) (Result, error) {
 	if 0.5*(fl+fu) > c.threshold {
 		label = High
 	}
-	return Result{Label: label, Lower: fl, Upper: fu, Stats: qs}, nil
+	return Result{Label: label, Lower: fl, Upper: fu, Stats: qs}
 }
 
 // ClassifyAll labels a batch of query points, fanning out across
-// Config.Workers goroutines when configured. The result order matches the
-// input order.
-func (c *Classifier) ClassifyAll(points [][]float64) ([]Label, error) {
-	for i, x := range points {
+// Config.Workers goroutines when configured. Queries are validated once
+// up front; the result order matches the input order.
+func (c *Classifier) ClassifyAll(queries [][]float64) ([]Label, error) {
+	for i, x := range queries {
 		if err := c.checkQuery(x); err != nil {
 			return nil, fmt.Errorf("core: query %d: %w", i, err)
 		}
 	}
-	out := make([]Label, len(points))
-	workers := c.cfg.Workers
-	if workers < 2 || len(points) < 2*workers {
-		for i, x := range points {
-			r, err := c.Score(x)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = r.Label
+	out := make([]Label, len(queries))
+	workers := c.effectiveWorkers()
+	if workers < 2 || len(queries) < 2*workers {
+		for i, x := range queries {
+			out[i] = c.scoreChecked(x).Label
 		}
 		return out, nil
 	}
 	var wg sync.WaitGroup
-	var firstErr atomic.Value
-	chunk := (len(points) + workers - 1) / workers
+	chunk := (len(queries) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
-		if lo >= len(points) {
+		if lo >= len(queries) {
 			break
 		}
 		hi := lo + chunk
-		if hi > len(points) {
-			hi = len(points)
+		if hi > len(queries) {
+			hi = len(queries)
 		}
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				r, err := c.Score(points[i])
-				if err != nil {
-					firstErr.CompareAndSwap(nil, err)
-					return
-				}
-				out[i] = r.Label
+				out[i] = c.scoreChecked(queries[i]).Label
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
-	if err, ok := firstErr.Load().(error); ok {
-		return nil, err
-	}
 	return out, nil
 }
 
@@ -424,7 +455,7 @@ func (c *Classifier) Bandwidths() []float64 { return c.kern.Bandwidths() }
 func (c *Classifier) Dim() int { return c.dim }
 
 // N returns the training set size.
-func (c *Classifier) N() int { return len(c.data) }
+func (c *Classifier) N() int { return c.data.Len() }
 
 // TrainStats reports how training went.
 func (c *Classifier) TrainStats() TrainStats { return c.train }

@@ -8,8 +8,19 @@ import (
 
 	"tkdc/internal/kdtree"
 	"tkdc/internal/kernel"
+	"tkdc/internal/points"
 	"tkdc/internal/stats"
 )
+
+// mustStore copies rows into flat storage, panicking on malformed input
+// (test data is always well-formed).
+func mustStore(rows [][]float64) *points.Store {
+	s, err := points.FromRows(rows)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
 
 // gauss2D draws n points from a 2-d mixture with a dominant mode and a
 // sparse satellite, giving the threshold something non-trivial to find.
@@ -117,11 +128,12 @@ func TestClassificationMatchesExactKDE(t *testing.T) {
 	}
 
 	// Ground truth: exact densities, exact quantile threshold.
-	h, _ := kernel.ScottBandwidths(data, 1)
+	pts := mustStore(data)
+	h, _ := kernel.ScottBandwidths(pts, 1)
 	kern, _ := kernel.NewGaussian(h)
 	exact := make([]float64, len(data))
 	for i, x := range data {
-		exact[i] = exactDensity(data, kern, x)
+		exact[i] = exactDensity(pts, kern, x)
 	}
 	corrected := make([]float64, len(data))
 	self := kern.AtZero() / float64(len(data))
@@ -177,7 +189,8 @@ func TestScoreBoundsContainExactDensity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h, _ := kernel.ScottBandwidths(data, 1)
+	pts := mustStore(data)
+	h, _ := kernel.ScottBandwidths(pts, 1)
 	kern, _ := kernel.NewGaussian(h)
 	for trial := 0; trial < 200; trial++ {
 		q := []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
@@ -185,7 +198,7 @@ func TestScoreBoundsContainExactDensity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		f := exactDensity(data, kern, q)
+		f := exactDensity(pts, kern, q)
 		slack := 1e-9 * math.Max(f, 1e-300)
 		if r.Lower > f+slack || r.Upper < f-slack {
 			t.Fatalf("bounds [%g, %g] do not contain exact density %g at %v", r.Lower, r.Upper, f, q)
@@ -362,7 +375,8 @@ func TestDensityBoundsPrecision(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h, _ := kernel.ScottBandwidths(data, 1)
+	pts := mustStore(data)
+	h, _ := kernel.ScottBandwidths(pts, 1)
 	kern, _ := kernel.NewGaussian(h)
 	for trial := 0; trial < 50; trial++ {
 		q := []float64{rng.NormFloat64(), rng.NormFloat64()}
@@ -373,7 +387,7 @@ func TestDensityBoundsPrecision(t *testing.T) {
 		if fu-fl > 0.01*fl*(1+1e-9)+1e-300 {
 			t.Fatalf("bounds [%g, %g] not within 1%% relative precision", fl, fu)
 		}
-		f := exactDensity(data, kern, q)
+		f := exactDensity(pts, kern, q)
 		if fl > f*(1+1e-9) || fu < f*(1-1e-9) {
 			t.Fatalf("bounds [%g, %g] miss exact %g", fl, fu, f)
 		}
@@ -384,7 +398,7 @@ func TestDensityBoundsPrecision(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := exactDensity(data, kern, q)
+	f := exactDensity(pts, kern, q)
 	if math.Abs(fl-f) > 1e-9*f || math.Abs(fu-f) > 1e-9*f {
 		t.Fatalf("exact-mode bounds [%g, %g] differ from %g", fl, fu, f)
 	}
@@ -473,6 +487,7 @@ func TestEpanechnikovKernelPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	pts := mustStore(data)
 	kern, _ := kernel.NewEpanechnikov(c.Bandwidths())
 	for trial := 0; trial < 100; trial++ {
 		q := []float64{rng.NormFloat64() * 2, rng.NormFloat64() * 2}
@@ -480,7 +495,7 @@ func TestEpanechnikovKernelPath(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		f := exactDensity(data, kern, q)
+		f := exactDensity(pts, kern, q)
 		slack := 1e-9*f + 1e-300
 		if !r.Stats.GridHit && (r.Lower > f+slack || r.Upper < f-slack) {
 			t.Fatalf("epanechnikov bounds [%g, %g] miss exact %g", r.Lower, r.Upper, f)

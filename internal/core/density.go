@@ -3,6 +3,7 @@ package core
 import (
 	"tkdc/internal/kdtree"
 	"tkdc/internal/kernel"
+	"tkdc/internal/points"
 )
 
 // QueryStats counts the work one density query performed.
@@ -117,7 +118,7 @@ func newDensityEstimator(tree *kdtree.Tree, kern kernel.Kernel, disableThreshold
 // weights returns the minimum and maximum possible density contribution of
 // a node's region to a query at x (Equation 6).
 func (e *densityEstimator) weights(n *kdtree.Node, x []float64) (wlo, whi float64) {
-	frac := float64(n.Count) / e.n
+	frac := float64(n.Count()) / e.n
 	wlo = frac * e.kern.FromScaledSqDist(n.MaxSqDist(x, e.invH2))
 	whi = frac * e.kern.FromScaledSqDist(n.MinSqDist(x, e.invH2))
 	return wlo, whi
@@ -157,11 +158,9 @@ func (e *densityEstimator) boundDensity(x []float64, tl, tu, tolCut float64, sta
 		fu -= cur.whi
 
 		if cur.node.IsLeaf() {
-			sum := 0.0
-			for _, p := range cur.node.Points {
-				sum += e.kern.FromScaledSqDist(kernel.ScaledSqDist(x, p, e.invH2))
-			}
-			stats.PointKernels += int64(len(cur.node.Points))
+			// One contiguous sweep over the leaf's flat row range.
+			sum := kernel.Sum(e.kern, x, e.tree.Leaf(cur.node))
+			stats.PointKernels += int64(cur.node.Count())
 			sum /= e.n
 			fl += sum
 			fu += sum
@@ -213,11 +212,9 @@ func (e *densityEstimator) estimateDensity(x []float64, rel float64, stats *Quer
 		fl -= cur.wlo
 		fu -= cur.whi
 		if cur.node.IsLeaf() {
-			sum := 0.0
-			for _, p := range cur.node.Points {
-				sum += e.kern.FromScaledSqDist(kernel.ScaledSqDist(x, p, e.invH2))
-			}
-			stats.PointKernels += int64(len(cur.node.Points))
+			// One contiguous sweep over the leaf's flat row range.
+			sum := kernel.Sum(e.kern, x, e.tree.Leaf(cur.node))
+			stats.PointKernels += int64(cur.node.Count())
 			sum /= e.n
 			fl += sum
 			fu += sum
@@ -247,11 +244,6 @@ func (e *densityEstimator) estimateDensity(x []float64, rel float64, stats *Quer
 
 // exactDensity sums every kernel contribution directly (the "simple"
 // baseline's inner loop, also used by tests as ground truth).
-func exactDensity(points [][]float64, kern kernel.Kernel, x []float64) float64 {
-	invH2 := kern.InvBandwidthsSq()
-	sum := 0.0
-	for _, p := range points {
-		sum += kern.FromScaledSqDist(kernel.ScaledSqDist(x, p, invH2))
-	}
-	return sum / float64(len(points))
+func exactDensity(pts *points.Store, kern kernel.Kernel, x []float64) float64 {
+	return kernel.Sum(kern, x, pts.Data) / float64(pts.Len())
 }

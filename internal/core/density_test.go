@@ -8,18 +8,15 @@ import (
 
 	"tkdc/internal/kdtree"
 	"tkdc/internal/kernel"
+	"tkdc/internal/points"
 )
 
 // buildEstimator constructs a tree + estimator over random data.
-func buildEstimator(t testing.TB, rng *rand.Rand, n, d int) (*densityEstimator, [][]float64, kernel.Kernel) {
+func buildEstimator(t testing.TB, rng *rand.Rand, n, d int) (*densityEstimator, *points.Store, kernel.Kernel) {
 	t.Helper()
-	pts := make([][]float64, n)
-	for i := range pts {
-		row := make([]float64, d)
-		for j := range row {
-			row[j] = rng.NormFloat64() * 5
-		}
-		pts[i] = row
+	pts := points.New(n, d)
+	for i := range pts.Data {
+		pts.Data[i] = rng.NormFloat64() * 5
 	}
 	h, err := kernel.ScottBandwidths(pts, 1)
 	if err != nil {
@@ -42,7 +39,7 @@ func TestBoundDensityBracketsExactProperty(t *testing.T) {
 	f := func(seed int64, rawTl, rawTu float64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		est, pts, kern := buildEstimator(t, rng, 100+rng.Intn(400), 1+rng.Intn(3))
-		d := len(pts[0])
+		d := pts.Dim
 		q := make([]float64, d)
 		for j := range q {
 			q[j] = rng.NormFloat64() * 8
@@ -64,7 +61,7 @@ func TestBoundDensityBracketsExactProperty(t *testing.T) {
 // density (the Figure 12 "Baseline" configuration).
 func TestBoundDensityExactWhenRulesDisabled(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
-	pts := gauss2D(rng, 500)
+	pts := mustStore(gauss2D(rng, 500))
 	h, _ := kernel.ScottBandwidths(pts, 1)
 	kern, _ := kernel.NewGaussian(h)
 	tree, err := kdtree.Build(pts, kdtree.Options{})
@@ -80,8 +77,8 @@ func TestBoundDensityExactWhenRulesDisabled(t *testing.T) {
 		if math.Abs(fl-exact) > 1e-9*exact+1e-300 || math.Abs(fu-exact) > 1e-9*exact+1e-300 {
 			t.Fatalf("rules-disabled traversal not exact: [%g, %g] vs %g", fl, fu, exact)
 		}
-		if qs.PointKernels != int64(len(pts)) {
-			t.Fatalf("exact traversal evaluated %d point kernels, want %d", qs.PointKernels, len(pts))
+		if qs.PointKernels != int64(pts.Len()) {
+			t.Fatalf("exact traversal evaluated %d point kernels, want %d", qs.PointKernels, pts.Len())
 		}
 	}
 }
@@ -90,7 +87,7 @@ func TestBoundDensityExactWhenRulesDisabled(t *testing.T) {
 // the threshold.
 func TestThresholdRuleSavesWork(t *testing.T) {
 	rng := rand.New(rand.NewSource(32))
-	pts := gauss2D(rng, 5000)
+	pts := mustStore(gauss2D(rng, 5000))
 	h, _ := kernel.ScottBandwidths(pts, 1)
 	kern, _ := kernel.NewGaussian(h)
 	tree, err := kdtree.Build(pts, kdtree.Options{})

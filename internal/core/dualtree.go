@@ -216,9 +216,13 @@ func (g *groupClassifier) certify(lo, hi []float64) (Label, bool) {
 		if cur.node.IsLeaf() {
 			// Refine a leaf by scoring its points individually against
 			// the query box (point-to-box distances) — the tightest bound
-			// available while the query side stays a box.
+			// available while the query side stays a box. The leaf is one
+			// contiguous flat sweep.
 			var sumLo, sumHi float64
-			for _, p := range cur.node.Points {
+			leaf := est.tree.Leaf(cur.node)
+			d := est.tree.Dim
+			for off := 0; off < len(leaf); off += d {
+				p := leaf[off : off+d]
 				dminSq, dmaxSq := 0.0, 0.0
 				for j := range p {
 					inv := est.invH2[j]
@@ -236,7 +240,7 @@ func (g *groupClassifier) certify(lo, hi []float64) (Label, bool) {
 				sumLo += est.kern.FromScaledSqDist(dmaxSq)
 				sumHi += est.kern.FromScaledSqDist(dminSq)
 			}
-			g.stats.PointKernels += 2 * int64(len(cur.node.Points))
+			g.stats.PointKernels += 2 * int64(cur.node.Count())
 			fl += sumLo / est.n
 			fu += sumHi / est.n
 			continue
@@ -281,7 +285,7 @@ func (g *groupClassifier) groupWeights(qlo, qhi []float64, est *densityEstimator
 		maxSq += far * far * inv
 	}
 	g.stats.BoundKernels += 2
-	frac := float64(n.Count) / est.n
+	frac := float64(n.Count()) / est.n
 	wlo = frac * est.kern.FromScaledSqDist(maxSq)
 	whi = frac * est.kern.FromScaledSqDist(minSq)
 	return wlo, whi

@@ -27,11 +27,12 @@ func TestDualTreeMatchesPerQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	h, _ := kernel.ScottBandwidths(data, 1)
+	pts := mustStore(data)
+	h, _ := kernel.ScottBandwidths(pts, 1)
 	kern, _ := kernel.NewGaussian(h)
 	band := 2 * cfg.Epsilon * c.Threshold()
 	for i, q := range queries {
-		f := exactDensity(data, kern, q)
+		f := exactDensity(pts, kern, q)
 		if math.Abs(f-c.Threshold()) <= band {
 			continue
 		}

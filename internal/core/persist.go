@@ -7,9 +7,7 @@ import (
 	"io"
 	"math"
 
-	"tkdc/internal/grid"
-	"tkdc/internal/kdtree"
-	"tkdc/internal/kernel"
+	"tkdc/internal/points"
 )
 
 // modelSnapshot is the serialized form of a trained classifier. The
@@ -17,27 +15,36 @@ import (
 // load (they are pure functions of data + config), so only the training
 // outcome — the threshold and its bounds — needs to persist alongside the
 // data. Loading therefore skips the expensive phases of Train entirely.
+//
+// Format v2 stores the dataset as one contiguous row-major buffer
+// (Flat + Dim), matching the in-memory points.Store layout; format v1
+// stored a slice of rows (Data). Save always writes v2; Load decodes
+// both. Gob matches fields by name, so one struct covers every version.
 type modelSnapshot struct {
 	Version   int
 	Config    Config
-	Data      [][]float64
+	Data      [][]float64 // v1 layout; nil in v2 snapshots
+	Flat      []float64   // v2 layout: row-major buffer …
+	Dim       int         // … with this row width
 	Threshold float64
 	TLow      float64
 	THigh     float64
 	Train     TrainStats
 }
 
-// modelVersion identifies the snapshot format.
-const modelVersion = 1
+// modelVersion identifies the current snapshot format: 2 = flat buffer.
+const modelVersion = 2
 
 // Save serializes the trained classifier (including its training data —
 // a KDE *is* its data) so a later Load can serve queries without
-// retraining. The format is Go-specific (encoding/gob) and versioned.
+// retraining. The format is Go-specific (encoding/gob) and versioned;
+// the dataset is written as the flat row-major buffer of format v2.
 func (c *Classifier) Save(w io.Writer) error {
 	snap := modelSnapshot{
 		Version:   modelVersion,
 		Config:    c.cfg,
-		Data:      c.data,
+		Flat:      c.data.Data,
+		Dim:       c.data.Dim,
 		Threshold: c.threshold,
 		TLow:      c.tLow,
 		THigh:     c.tHigh,
@@ -52,16 +59,35 @@ func (c *Classifier) Save(w io.Writer) error {
 // Load reconstructs a classifier saved with Save: the k-d tree and grid
 // are rebuilt from the stored data, and the persisted threshold is used
 // directly, skipping the bootstrap and the full-dataset density pass.
+// Both snapshot formats are accepted: v2 (flat buffer) and the legacy v1
+// (slice of rows), which is converted to flat storage on the way in.
 func Load(r io.Reader) (*Classifier, error) {
 	var snap modelSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("core: load model: %w", err)
 	}
-	if snap.Version != modelVersion {
-		return nil, fmt.Errorf("core: unsupported model version %d (want %d)", snap.Version, modelVersion)
-	}
-	if len(snap.Data) == 0 {
-		return nil, errors.New("core: model contains no data")
+	var store *points.Store
+	switch snap.Version {
+	case 1:
+		if len(snap.Data) == 0 {
+			return nil, errors.New("core: model contains no data")
+		}
+		s, err := points.FromRows(snap.Data)
+		if err != nil {
+			return nil, fmt.Errorf("core: load model: %w", err)
+		}
+		store = s
+	case 2:
+		if len(snap.Flat) == 0 {
+			return nil, errors.New("core: model contains no data")
+		}
+		s, err := points.FromFlat(snap.Flat, snap.Dim)
+		if err != nil {
+			return nil, fmt.Errorf("core: load model: %w", err)
+		}
+		store = s
+	default:
+		return nil, fmt.Errorf("core: unsupported model version %d (want 1 or %d)", snap.Version, modelVersion)
 	}
 	if math.IsNaN(snap.Threshold) {
 		return nil, errors.New("core: model threshold is NaN")
@@ -70,42 +96,17 @@ func Load(r io.Reader) (*Classifier, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-
-	h, err := kernel.ScottBandwidths(snap.Data, cfg.BandwidthFactor)
-	if err != nil {
-		return nil, err
-	}
-	kern, err := newKernel(cfg.Kernel, h)
-	if err != nil {
-		return nil, err
-	}
-	tree, err := kdtree.Build(snap.Data, kdtree.Options{LeafSize: cfg.LeafSize, Split: cfg.Split})
-	if err != nil {
-		return nil, err
+	if err := store.CheckFinite(); err != nil {
+		return nil, fmt.Errorf("core: load model: %w", err)
 	}
 
-	c := &Classifier{
-		cfg:         cfg,
-		dim:         len(snap.Data[0]),
-		data:        snap.Data,
-		kern:        kern,
-		tree:        tree,
-		tLow:        snap.TLow,
-		tHigh:       snap.THigh,
-		threshold:   snap.Threshold,
-		selfContrib: kern.AtZero() / float64(len(snap.Data)),
-		train:       snap.Train,
+	c, err := assemble(store, cfg)
+	if err != nil {
+		return nil, err
 	}
-	c.estPool.New = func() any {
-		return newDensityEstimator(c.tree, c.kern, cfg.DisableThresholdRule, cfg.DisableToleranceRule)
-	}
-	if !cfg.DisableGrid && c.dim <= cfg.MaxGridDim {
-		g, err := grid.New(snap.Data, h)
-		if err != nil {
-			return nil, err
-		}
-		c.grid = g
-		c.gridKDiag = kern.FromScaledSqDist(g.DiagSqScaled(kern.InvBandwidthsSq()))
-	}
+	c.tLow = snap.TLow
+	c.tHigh = snap.THigh
+	c.threshold = snap.Threshold
+	c.train = snap.Train
 	return c, nil
 }

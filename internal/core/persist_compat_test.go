@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateV1 = flag.Bool("update-persist-v1", false, "rewrite the v1 snapshot fixture from the current implementation (only meaningful while Save still emits format v1)")
+
+// persistDataset is a fixed small dataset for snapshot-compatibility
+// fixtures; independent of the code under test.
+func persistDataset() [][]float64 {
+	rng := rand.New(rand.NewSource(99))
+	data := make([][]float64, 0, 300)
+	for i := 0; i < 300; i++ {
+		if i < 280 {
+			data = append(data, []float64{rng.NormFloat64(), rng.NormFloat64() * 2})
+		} else {
+			data = append(data, []float64{rng.Float64()*30 - 15, rng.Float64()*30 - 15})
+		}
+	}
+	return data
+}
+
+func persistConfig() Config {
+	cfg := DefaultConfig()
+	cfg.P = 0.05
+	cfg.Seed = 99
+	return cfg
+}
+
+type persistFixture struct {
+	Threshold float64 `json:"threshold"`
+	Labels    []int   `json:"labels"`
+}
+
+func classifyAllLabels(t *testing.T, clf *Classifier, data [][]float64) []int {
+	t.Helper()
+	labels := make([]int, len(data))
+	for i, x := range data {
+		l, err := clf.Classify(x)
+		if err != nil {
+			t.Fatalf("Classify: %v", err)
+		}
+		labels[i] = int(l)
+	}
+	return labels
+}
+
+// TestPersistV1Compat loads a checked-in format-v1 gob snapshot (written
+// by the pre-flat-storage implementation) and verifies the loaded
+// classifier reproduces the recorded threshold and labels exactly. This
+// pins backward compatibility of Load across snapshot format revisions.
+func TestPersistV1Compat(t *testing.T) {
+	gobPath := filepath.Join("testdata", "model_v1.gob")
+	jsonPath := filepath.Join("testdata", "model_v1.json")
+	data := persistDataset()
+
+	if *updateV1 {
+		clf, err := Train(data, persistConfig())
+		if err != nil {
+			t.Fatalf("Train: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := clf.Save(&buf); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(gobPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fix := persistFixture{Threshold: clf.Threshold(), Labels: classifyAllLabels(t, clf, data)}
+		blob, err := json.MarshalIndent(fix, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s and %s", gobPath, jsonPath)
+		return
+	}
+
+	raw, err := os.ReadFile(gobPath)
+	if err != nil {
+		t.Fatalf("read v1 fixture: %v", err)
+	}
+	clf, err := Load(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("Load v1 snapshot: %v", err)
+	}
+	blob, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want persistFixture
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	if clf.Threshold() != want.Threshold {
+		t.Errorf("threshold = %.17g, fixture %.17g", clf.Threshold(), want.Threshold)
+	}
+	got := classifyAllLabels(t, clf, data)
+	compareLabels(t, "v1", got, want.Labels)
+}
+
+// TestPersistRoundTrip saves a freshly trained classifier in the current
+// snapshot format and verifies the loaded copy classifies identically.
+func TestPersistRoundTrip(t *testing.T) {
+	data := persistDataset()
+	clf, err := Train(data, persistConfig())
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := clf.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if loaded.Threshold() != clf.Threshold() {
+		t.Errorf("round-trip threshold = %.17g, want %.17g", loaded.Threshold(), clf.Threshold())
+	}
+	if loaded.N() != clf.N() || loaded.Dim() != clf.Dim() {
+		t.Errorf("round-trip N/Dim = %d/%d, want %d/%d", loaded.N(), loaded.Dim(), clf.N(), clf.Dim())
+	}
+	want := classifyAllLabels(t, clf, data)
+	got := classifyAllLabels(t, loaded, data)
+	compareLabels(t, "round-trip", got, want)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math/rand"
 	"strings"
 	"testing"
@@ -119,13 +120,25 @@ func TestLoadRejectsWrongVersion(t *testing.T) {
 	if err := c.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt the version by re-encoding a snapshot manually is fiddly
-	// with gob; instead verify the constant guards by checking a loaded
-	// model works and the version constant is what Save wrote.
-	if modelVersion != 1 {
+	if modelVersion != 2 {
 		t.Fatalf("update TestLoadRejectsWrongVersion for version %d", modelVersion)
 	}
 	if _, err := Load(&buf); err != nil {
 		t.Fatal(err)
+	}
+
+	// A snapshot from a future (unknown) format version must be rejected.
+	future := modelSnapshot{
+		Version: modelVersion + 1,
+		Config:  testConfig(),
+		Flat:    []float64{1, 2},
+		Dim:     2,
+	}
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(&future); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil || !strings.Contains(err.Error(), "unsupported model version") {
+		t.Fatalf("future version error = %v, want unsupported-version", err)
 	}
 }

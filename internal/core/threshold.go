@@ -8,6 +8,7 @@ import (
 
 	"tkdc/internal/kdtree"
 	"tkdc/internal/kernel"
+	"tkdc/internal/points"
 	"tkdc/internal/stats"
 )
 
@@ -25,8 +26,8 @@ type thresholdBound struct {
 // evaluation on the next, larger subsample cheap, because the pruning
 // rules of Algorithm 2 can fire. Bounds that turn out invalid for the
 // larger sample are multiplicatively backed off and the round retried.
-func boundThreshold(data [][]float64, cfg Config, rng *rand.Rand) (thresholdBound, error) {
-	n := len(data)
+func boundThreshold(data *points.Store, cfg Config, rng *rand.Rand) (thresholdBound, error) {
+	n := data.Len()
 	res := thresholdBound{lo: 0, hi: math.Inf(1)}
 
 	r := cfg.R0
@@ -67,8 +68,8 @@ func boundThreshold(data [][]float64, cfg Config, rng *rand.Rand) (thresholdBoun
 		selfContrib := kern.AtZero() / float64(r)
 		tolCut := cfg.Epsilon * math.Max(res.lo, 0)
 		densities := make([]float64, sEff)
-		for i, q := range xs {
-			fl, fu := est.boundDensity(q, res.lo+selfContrib, res.hi+selfContrib, tolCut, &res.queries)
+		for i := 0; i < sEff; i++ {
+			fl, fu := est.boundDensity(xs.Row(i), res.lo+selfContrib, res.hi+selfContrib, tolCut, &res.queries)
 			densities[i] = 0.5*(fl+fu) - selfContrib
 		}
 		sort.Float64s(densities)
@@ -155,24 +156,25 @@ func scaleTowardZero(x, factor float64) float64 {
 	return x * factor
 }
 
-// sampleRows draws k rows without replacement using a partial
-// Fisher–Yates shuffle over an index array. k is clamped to len(rows).
-func sampleRows(rows [][]float64, k int, rng *rand.Rand) [][]float64 {
-	n := len(rows)
+// sampleRows draws k rows without replacement into a fresh store using a
+// partial Fisher–Yates shuffle over an index array. k is clamped to the
+// store's length. The RNG consumption order matches the historical
+// slice-of-rows implementation, keeping trained models bit-identical
+// across the storage refactor.
+func sampleRows(s *points.Store, k int, rng *rand.Rand) *points.Store {
+	n := s.Len()
 	if k >= n {
-		out := make([][]float64, n)
-		copy(out, rows)
-		return out
+		return s.Clone()
 	}
 	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
-	out := make([][]float64, k)
+	out := points.New(k, s.Dim)
 	for i := 0; i < k; i++ {
 		j := i + rng.Intn(n-i)
 		idx[i], idx[j] = idx[j], idx[i]
-		out[i] = rows[idx[i]]
+		copy(out.Row(i), s.Row(idx[i]))
 	}
 	return out
 }

@@ -7,18 +7,20 @@ import (
 	"testing"
 
 	"tkdc/internal/kernel"
+	"tkdc/internal/points"
 	"tkdc/internal/stats"
 )
 
 // bruteThreshold computes the exact self-contribution-corrected p-quantile
 // of training densities — the definition of t(p) in Equation 1.
-func bruteThreshold(data [][]float64, b, p float64) float64 {
+func bruteThreshold(data *points.Store, b, p float64) float64 {
 	h, _ := kernel.ScottBandwidths(data, b)
 	kern, _ := kernel.NewGaussian(h)
-	self := kern.AtZero() / float64(len(data))
-	ds := make([]float64, len(data))
-	for i, x := range data {
-		ds[i] = exactDensity(data, kern, x) - self
+	n := data.Len()
+	self := kern.AtZero() / float64(n)
+	ds := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ds[i] = exactDensity(data, kern, data.Row(i)) - self
 	}
 	sort.Float64s(ds)
 	t, _ := stats.SortedQuantile(ds, p)
@@ -33,7 +35,7 @@ func TestBoundThresholdBracketsTrueThreshold(t *testing.T) {
 	misses := 0
 	for seed := int64(0); seed < 8; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		data := gauss2D(rng, 1500)
+		data := mustStore(gauss2D(rng, 1500))
 		cfg := testConfig().normalized()
 		tb, err := boundThreshold(data, cfg, rng)
 		if err != nil {
@@ -63,13 +65,13 @@ func TestBoundThresholdBracketsTrueThreshold(t *testing.T) {
 // modest dataset.
 func TestBoundThresholdCheaperThanExact(t *testing.T) {
 	rng := rand.New(rand.NewSource(40))
-	data := gauss2D(rng, 4000)
+	data := mustStore(gauss2D(rng, 4000))
 	cfg := testConfig().normalized()
 	tb, err := boundThreshold(data, cfg, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	exactCost := int64(len(data)) * int64(len(data))
+	exactCost := int64(data.Len()) * int64(data.Len())
 	if tb.queries.Kernels() > exactCost/4 {
 		t.Fatalf("bootstrap used %d kernels; exact pass would be %d", tb.queries.Kernels(), exactCost)
 	}
@@ -77,7 +79,7 @@ func TestBoundThresholdCheaperThanExact(t *testing.T) {
 
 func TestBoundThresholdTinyData(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
-	data := [][]float64{{0}, {0.1}, {0.2}, {10}}
+	data := mustStore([][]float64{{0}, {0.1}, {0.2}, {10}})
 	cfg := testConfig().normalized()
 	tb, err := boundThreshold(data, cfg, rng)
 	if err != nil {
@@ -90,26 +92,26 @@ func TestBoundThresholdTinyData(t *testing.T) {
 
 func TestSampleRows(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
-	rows := [][]float64{{1}, {2}, {3}, {4}, {5}}
+	rows := mustStore([][]float64{{1}, {2}, {3}, {4}, {5}})
 	got := sampleRows(rows, 3, rng)
-	if len(got) != 3 {
-		t.Fatalf("sampled %d rows, want 3", len(got))
+	if got.Len() != 3 {
+		t.Fatalf("sampled %d rows, want 3", got.Len())
 	}
 	seen := map[float64]bool{}
-	for _, r := range got {
-		if seen[r[0]] {
+	for i := 0; i < got.Len(); i++ {
+		if seen[got.At(i, 0)] {
 			t.Fatal("sampleRows drew with replacement")
 		}
-		seen[r[0]] = true
+		seen[got.At(i, 0)] = true
 	}
 	// k ≥ n returns all rows.
 	all := sampleRows(rows, 10, rng)
-	if len(all) != 5 {
-		t.Fatalf("k>n returned %d rows, want 5", len(all))
+	if all.Len() != 5 {
+		t.Fatalf("k>n returned %d rows, want 5", all.Len())
 	}
-	// Original slice unharmed.
-	for i, r := range rows {
-		if r[0] != float64(i+1) {
+	// Original store unharmed.
+	for i := 0; i < rows.Len(); i++ {
+		if rows.At(i, 0) != float64(i+1) {
 			t.Fatal("sampleRows mutated input")
 		}
 	}

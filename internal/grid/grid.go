@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"tkdc/internal/points"
 )
 
 // Grid counts dataset points per hypercube cell. It is immutable after
@@ -27,16 +29,19 @@ type Grid struct {
 	n      int
 }
 
-// New builds a grid over points with the given per-dimension cell widths
-// (the paper sets them equal to the bandwidths). All widths must be
-// positive and finite.
-func New(points [][]float64, cellWidths []float64) (*Grid, error) {
-	if len(points) == 0 {
+// New builds a grid over a flat point store with the given per-dimension
+// cell widths (the paper sets them equal to the bandwidths). All widths
+// must be positive and finite.
+func New(pts *points.Store, cellWidths []float64) (*Grid, error) {
+	if pts.Len() == 0 {
 		return nil, errors.New("grid: no points")
 	}
 	d := len(cellWidths)
 	if d == 0 {
 		return nil, errors.New("grid: empty cell widths")
+	}
+	if pts.Dim != d {
+		return nil, fmt.Errorf("grid: points have dimension %d, want %d", pts.Dim, d)
 	}
 	for i, w := range cellWidths {
 		if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
@@ -47,17 +52,15 @@ func New(points [][]float64, cellWidths []float64) (*Grid, error) {
 		widths: append([]float64(nil), cellWidths...),
 		inv:    make([]float64, d),
 		counts: make(map[string]int),
-		n:      len(points),
+		n:      pts.Len(),
 	}
 	for i, w := range cellWidths {
 		g.inv[i] = 1 / w
 	}
 	buf := make([]byte, 8*d)
-	for i, p := range points {
-		if len(p) != d {
-			return nil, fmt.Errorf("grid: point %d has dimension %d, want %d", i, len(p), d)
-		}
-		g.counts[string(g.key(p, buf))]++
+	flat := pts.Data
+	for off := 0; off < len(flat); off += d {
+		g.counts[string(g.key(flat[off:off+d], buf))]++
 	}
 	return g, nil
 }

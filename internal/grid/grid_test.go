@@ -7,10 +7,20 @@ import (
 	"testing/quick"
 
 	"tkdc/internal/kernel"
+	"tkdc/internal/points"
 )
 
+func storeOf(tb testing.TB, rows [][]float64) *points.Store {
+	tb.Helper()
+	s, err := points.FromRows(rows)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
 func TestNewValidation(t *testing.T) {
-	pts := [][]float64{{1, 2}}
+	pts := storeOf(t, [][]float64{{1, 2}})
 	if _, err := New(nil, []float64{1}); err == nil {
 		t.Fatal("empty points should error")
 	}
@@ -29,11 +39,11 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestCountBasics(t *testing.T) {
-	pts := [][]float64{
+	pts := storeOf(t, [][]float64{
 		{0.1, 0.1}, {0.9, 0.9}, // cell (0,0)
 		{1.5, 0.5},   // cell (1,0)
 		{-0.5, -0.5}, // cell (-1,-1)
-	}
+	})
 	g, err := New(pts, []float64{1, 1})
 	if err != nil {
 		t.Fatal(err)
@@ -57,7 +67,7 @@ func TestCountBasics(t *testing.T) {
 
 func TestNegativeCoordinateCells(t *testing.T) {
 	// floor semantics: -0.5 with width 1 lands in cell -1, not 0.
-	g, err := New([][]float64{{-0.5}}, []float64{1})
+	g, err := New(storeOf(t, [][]float64{{-0.5}}), []float64{1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +85,7 @@ func TestDiagSqScaledEqualsDimWhenWidthsAreBandwidths(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g, err := New([][]float64{{0, 0, 0}}, h)
+	g, err := New(storeOf(t, [][]float64{{0, 0, 0}}), h)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,9 +105,9 @@ func TestLowerBoundDensityIsLowerBound(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 50 + rng.Intn(500)
-		pts := make([][]float64, n)
-		for i := range pts {
-			pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		pts := points.New(n, 2)
+		for i := range pts.Data {
+			pts.Data[i] = rng.NormFloat64()
 		}
 		g, err := New(pts, h)
 		if err != nil {
@@ -107,8 +117,8 @@ func TestLowerBoundDensityIsLowerBound(t *testing.T) {
 		for trial := 0; trial < 10; trial++ {
 			q := []float64{rng.NormFloat64(), rng.NormFloat64()}
 			exact := 0.0
-			for _, p := range pts {
-				exact += kernel.At(k, q, p)
+			for i := 0; i < n; i++ {
+				exact += kernel.At(k, q, pts.Row(i))
 			}
 			exact /= float64(n)
 			if g.LowerBoundDensity(q, kDiag) > exact+1e-12 {
@@ -126,10 +136,10 @@ func TestDenseClusterTriggersBound(t *testing.T) {
 	// 1000 points in one tight cluster: the grid bound at the cluster
 	// center must be strongly positive.
 	rng := rand.New(rand.NewSource(9))
-	pts := make([][]float64, 1000)
-	for i := range pts {
+	pts := points.New(1000, 2)
+	for i := range pts.Data {
 		// Centered inside cell (0,0) so the whole cluster shares one cell.
-		pts[i] = []float64{0.5 + rng.NormFloat64()*0.01, 0.5 + rng.NormFloat64()*0.01}
+		pts.Data[i] = 0.5 + rng.NormFloat64()*0.01
 	}
 	h := []float64{1, 1}
 	k, _ := kernel.NewGaussian(h)
@@ -147,9 +157,9 @@ func TestDenseClusterTriggersBound(t *testing.T) {
 
 func BenchmarkGridBuild(b *testing.B) {
 	rng := rand.New(rand.NewSource(10))
-	pts := make([][]float64, 100_000)
-	for i := range pts {
-		pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	pts := points.New(100_000, 2)
+	for i := range pts.Data {
+		pts.Data[i] = rng.NormFloat64()
 	}
 	h := []float64{0.05, 0.05}
 	b.ResetTimer()
@@ -162,9 +172,9 @@ func BenchmarkGridBuild(b *testing.B) {
 
 func BenchmarkGridCount(b *testing.B) {
 	rng := rand.New(rand.NewSource(11))
-	pts := make([][]float64, 100_000)
-	for i := range pts {
-		pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	pts := points.New(100_000, 2)
+	for i := range pts.Data {
+		pts.Data[i] = rng.NormFloat64()
 	}
 	g, err := New(pts, []float64{0.05, 0.05})
 	if err != nil {

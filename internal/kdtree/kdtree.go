@@ -3,6 +3,12 @@
 // bounding box and point count of its region, in the style of
 // multi-resolution k-d trees (Deng & Moore).
 //
+// The tree is an index-permutation tree over flat storage: Build copies
+// the input points.Store once and reorders the copy in place so that
+// every node — leaf or interior — owns a contiguous row range [Lo, Hi)
+// of the buffer. A leaf expansion is therefore a single contiguous sweep
+// of Count()*Dim float64s, with no per-point pointer chase.
+//
 // Two split rules are provided. The paper's default for tKDC is the
 // "equi-width" trimmed midpoint — split at (x⁽¹⁰⁾ + x⁽⁹⁰⁾)/2, the midpoint
 // of the 10th and 90th percentiles along the cycling axis — which
@@ -16,6 +22,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"tkdc/internal/points"
 )
 
 // SplitRule selects how Build partitions points at each node.
@@ -54,19 +62,23 @@ type Options struct {
 	Split SplitRule
 }
 
-// Node is one region of the index. Interior nodes have both children set;
-// leaves hold their points directly. Min/Max give the tight bounding box
-// of the points under the node (not the splitting hyperplanes), which is
-// what makes the distance bounds of Equation 6 tight.
+// Node is one region of the index. Every node owns the contiguous row
+// range [Lo, Hi) of the tree's reordered flat buffer; interior nodes have
+// both children set and the children partition the range. Min/Max give
+// the tight bounding box of the points under the node (not the splitting
+// hyperplanes), which is what makes the distance bounds of Equation 6
+// tight.
 type Node struct {
 	Min, Max []float64
-	Count    int
+	Lo, Hi   int
 	Left     *Node
 	Right    *Node
-	Points   [][]float64 // non-nil only for leaves
 }
 
-// IsLeaf reports whether the node stores points directly.
+// Count returns the number of points under the node.
+func (n *Node) Count() int { return n.Hi - n.Lo }
+
+// IsLeaf reports whether the node's range is scanned directly.
 func (n *Node) IsLeaf() bool { return n.Left == nil }
 
 // Tree is an immutable k-d tree over a point set. It is safe for
@@ -76,47 +88,42 @@ type Tree struct {
 	Dim  int
 	Size int
 	Opts Options
+	// Pts is the tree's private build-time-reordered copy of the point
+	// set: node ranges index into it, and Pts.Slab(n.Lo, n.Hi) is the
+	// contiguous leaf scan. Readers must treat it as immutable.
+	Pts *points.Store
 }
 
-// Build constructs a k-d tree over the given points. The point slices are
-// referenced, not copied; callers must not mutate them afterwards. All
-// points must share the same dimensionality and contain no NaNs or
-// infinities.
-func Build(points [][]float64, opts Options) (*Tree, error) {
-	if len(points) == 0 {
+// Leaf returns the contiguous flat view of the node's points — the batch
+// a leaf expansion hands to kernel evaluation.
+func (t *Tree) Leaf(n *Node) []float64 { return t.Pts.Slab(n.Lo, n.Hi) }
+
+// Build constructs a k-d tree over the given store. The store is copied
+// once and the copy reordered in place, so the caller's buffer is never
+// mutated or referenced. All coordinates must be finite.
+func Build(pts *points.Store, opts Options) (*Tree, error) {
+	if pts.Len() == 0 {
 		return nil, errors.New("kdtree: no points")
 	}
-	d := len(points[0])
-	if d == 0 {
+	if pts.Dim == 0 {
 		return nil, errors.New("kdtree: zero-dimensional points")
 	}
-	for i, p := range points {
-		if len(p) != d {
-			return nil, fmt.Errorf("kdtree: point %d has dimension %d, want %d", i, len(p), d)
-		}
-		for j, v := range p {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, fmt.Errorf("kdtree: point %d coordinate %d is %v", i, j, v)
-			}
-		}
+	if err := pts.CheckFinite(); err != nil {
+		return nil, fmt.Errorf("kdtree: %w", err)
 	}
 	if opts.LeafSize <= 0 {
 		opts.LeafSize = DefaultLeafSize
 	}
-	// Work on a private ordering so partitioning doesn't disturb the
-	// caller's slice.
-	work := append([][]float64(nil), points...)
-	t := &Tree{Dim: d, Size: len(points), Opts: opts}
-	t.Root = t.build(work, 0)
+	t := &Tree{Dim: pts.Dim, Size: pts.Len(), Opts: opts, Pts: pts.Clone()}
+	t.Root = t.build(0, t.Size, 0)
 	return t, nil
 }
 
-func (t *Tree) build(pts [][]float64, depth int) *Node {
-	n := &Node{Count: len(pts)}
-	n.Min, n.Max = boundingBox(pts, t.Dim)
+func (t *Tree) build(lo, hi, depth int) *Node {
+	n := &Node{Lo: lo, Hi: hi}
+	n.Min, n.Max = t.boundingBox(lo, hi)
 
-	if len(pts) <= t.Opts.LeafSize {
-		n.Points = pts
+	if hi-lo <= t.Opts.LeafSize {
 		return n
 	}
 
@@ -132,44 +139,54 @@ func (t *Tree) build(pts [][]float64, depth int) *Node {
 		}
 	}
 	if dim < 0 {
-		n.Points = pts
 		return n
 	}
 
-	split := t.splitValue(pts, dim)
-	left, right := partition(pts, dim, split)
-	if len(left) == 0 || len(right) == 0 {
+	split := t.splitValue(lo, hi, dim)
+	mid := t.partition(lo, hi, dim, split)
+	if mid == lo || mid == hi {
 		// Degenerate split (heavily duplicated coordinates): fall back to
 		// a median partition by rank, which always separates a non-trivial
 		// prefix because the axis has positive extent.
-		sort.Slice(pts, func(i, j int) bool { return pts[i][dim] < pts[j][dim] })
-		mid := len(pts) / 2
+		sort.Sort(&rowSorter{pts: t.Pts, lo: lo, hi: hi, dim: dim})
+		mid = lo + (hi-lo)/2
 		// Move mid off a run of duplicates so left's max < right's min.
-		for mid < len(pts) && pts[mid][dim] == pts[mid-1][dim] {
+		for mid < hi && t.Pts.At(mid, dim) == t.Pts.At(mid-1, dim) {
 			mid++
 		}
-		if mid == len(pts) {
-			mid = len(pts) / 2
-			for mid > 0 && pts[mid][dim] == pts[mid-1][dim] {
+		if mid == hi {
+			mid = lo + (hi-lo)/2
+			for mid > lo && t.Pts.At(mid, dim) == t.Pts.At(mid-1, dim) {
 				mid--
 			}
 		}
-		if mid == 0 || mid == len(pts) {
-			n.Points = pts
+		if mid == lo || mid == hi {
 			return n
 		}
-		left, right = pts[:mid], pts[mid:]
 	}
-	n.Left = t.build(left, depth+1)
-	n.Right = t.build(right, depth+1)
+	n.Left = t.build(lo, mid, depth+1)
+	n.Right = t.build(mid, hi, depth+1)
 	return n
 }
 
-// splitValue returns the coordinate to split at along dim.
-func (t *Tree) splitValue(pts [][]float64, dim int) float64 {
-	vals := make([]float64, len(pts))
-	for i, p := range pts {
-		vals[i] = p[dim]
+// rowSorter sorts the rows of [lo, hi) in place by their dim-th
+// coordinate.
+type rowSorter struct {
+	pts    *points.Store
+	lo, hi int
+	dim    int
+}
+
+func (s *rowSorter) Len() int           { return s.hi - s.lo }
+func (s *rowSorter) Less(i, j int) bool { return s.pts.At(s.lo+i, s.dim) < s.pts.At(s.lo+j, s.dim) }
+func (s *rowSorter) Swap(i, j int)      { s.pts.Swap(s.lo+i, s.lo+j) }
+
+// splitValue returns the coordinate to split at along dim for rows
+// [lo, hi).
+func (t *Tree) splitValue(lo, hi, dim int) float64 {
+	vals := make([]float64, hi-lo)
+	for i := range vals {
+		vals[i] = t.Pts.At(lo+i, dim)
 	}
 	sort.Float64s(vals)
 	switch t.Opts.Split {
@@ -182,37 +199,40 @@ func (t *Tree) splitValue(pts [][]float64, dim int) float64 {
 	}
 }
 
-// partition splits pts into (< split) and (≥ split) along dim, reusing the
-// underlying array.
-func partition(pts [][]float64, dim int, split float64) (left, right [][]float64) {
-	i, j := 0, len(pts)-1
+// partition reorders rows [lo, hi) into (< split) then (≥ split) along
+// dim and returns the boundary row.
+func (t *Tree) partition(lo, hi, dim int, split float64) int {
+	i, j := lo, hi-1
 	for i <= j {
-		if pts[i][dim] < split {
+		if t.Pts.At(i, dim) < split {
 			i++
 		} else {
-			pts[i], pts[j] = pts[j], pts[i]
+			t.Pts.Swap(i, j)
 			j--
 		}
 	}
-	return pts[:i], pts[i:]
+	return i
 }
 
-func boundingBox(pts [][]float64, d int) (lo, hi []float64) {
-	lo = make([]float64, d)
-	hi = make([]float64, d)
-	copy(lo, pts[0])
-	copy(hi, pts[0])
-	for _, p := range pts[1:] {
-		for j, v := range p {
-			if v < lo[j] {
-				lo[j] = v
+func (t *Tree) boundingBox(lo, hi int) (bmin, bmax []float64) {
+	d := t.Dim
+	bmin = make([]float64, d)
+	bmax = make([]float64, d)
+	copy(bmin, t.Pts.Row(lo))
+	copy(bmax, t.Pts.Row(lo))
+	flat := t.Pts.Slab(lo+1, hi)
+	for off := 0; off < len(flat); off += d {
+		for j := 0; j < d; j++ {
+			v := flat[off+j]
+			if v < bmin[j] {
+				bmin[j] = v
 			}
-			if v > hi[j] {
-				hi[j] = v
+			if v > bmax[j] {
+				bmax[j] = v
 			}
 		}
 	}
-	return lo, hi
+	return bmin, bmax
 }
 
 // MinSqDist returns the minimum bandwidth-scaled squared distance from x
@@ -249,7 +269,8 @@ func (n *Node) MaxSqDist(x, invH2 []float64) float64 {
 // ForEachInRange invokes fn for every indexed point whose bandwidth-scaled
 // squared distance to x is at most sqRadius. It prunes subtrees whose
 // bounding boxes lie entirely outside the radius, the classic range query
-// the rkde baseline is built on (Section 4.1).
+// the rkde baseline is built on (Section 4.1). fn receives a view into
+// the tree's flat buffer, valid only for the duration of the call.
 func (t *Tree) ForEachInRange(x, invH2 []float64, sqRadius float64, fn func(p []float64)) {
 	var walk func(n *Node)
 	walk = func(n *Node) {
@@ -257,7 +278,8 @@ func (t *Tree) ForEachInRange(x, invH2 []float64, sqRadius float64, fn func(p []
 			return
 		}
 		if n.IsLeaf() {
-			for _, p := range n.Points {
+			for i := n.Lo; i < n.Hi; i++ {
+				p := t.Pts.Row(i)
 				if sq := sqDist(x, p, invH2); sq <= sqRadius {
 					fn(p)
 				}

@@ -5,57 +5,62 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"tkdc/internal/points"
 )
 
-func randomPoints(rng *rand.Rand, n, d int) [][]float64 {
-	pts := make([][]float64, n)
-	for i := range pts {
-		p := make([]float64, d)
-		for j := range p {
-			p[j] = rng.NormFloat64() * 10
-		}
-		pts[i] = p
+func randomPoints(rng *rand.Rand, n, d int) *points.Store {
+	pts := points.New(n, d)
+	for i := 0; i < n*d; i++ {
+		pts.Data[i] = rng.NormFloat64() * 10
 	}
 	return pts
+}
+
+func storeOf(rows [][]float64) *points.Store {
+	s, err := points.FromRows(rows)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 func TestBuildValidation(t *testing.T) {
 	if _, err := Build(nil, Options{}); err == nil {
 		t.Fatal("empty input should error")
 	}
-	if _, err := Build([][]float64{{}}, Options{}); err == nil {
+	if _, err := Build(&points.Store{}, Options{}); err == nil {
 		t.Fatal("zero-dimensional input should error")
 	}
-	if _, err := Build([][]float64{{1, 2}, {3}}, Options{}); err == nil {
-		t.Fatal("ragged input should error")
-	}
-	if _, err := Build([][]float64{{math.NaN()}}, Options{}); err == nil {
+	if _, err := Build(&points.Store{Dim: 1, Data: []float64{math.NaN()}}, Options{}); err == nil {
 		t.Fatal("NaN coordinate should error")
 	}
-	if _, err := Build([][]float64{{math.Inf(1)}}, Options{}); err == nil {
+	if _, err := Build(&points.Store{Dim: 1, Data: []float64{math.Inf(1)}}, Options{}); err == nil {
 		t.Fatal("Inf coordinate should error")
 	}
 }
 
-func TestBuildDoesNotMutateInputOrder(t *testing.T) {
+func TestBuildDoesNotMutateInput(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	pts := randomPoints(rng, 100, 2)
-	first := pts[0]
+	before := append([]float64(nil), pts.Data...)
 	if _, err := Build(pts, Options{LeafSize: 4}); err != nil {
 		t.Fatal(err)
 	}
-	if &pts[0][0] != &first[0] {
-		t.Fatal("input slice header order changed")
+	for i, v := range pts.Data {
+		if v != before[i] {
+			t.Fatal("Build mutated the caller's buffer")
+		}
 	}
 }
 
 func TestSingleLeafTree(t *testing.T) {
-	pts := [][]float64{{1, 2}, {3, 4}}
+	pts := storeOf([][]float64{{1, 2}, {3, 4}})
 	tr, err := Build(pts, Options{LeafSize: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !tr.Root.IsLeaf() || tr.Root.Count != 2 {
+	if !tr.Root.IsLeaf() || tr.Root.Count() != 2 {
 		t.Fatal("two points with LeafSize 10 should be a single leaf")
 	}
 	if tr.Height() != 1 || tr.NodeCount() != 1 {
@@ -64,9 +69,9 @@ func TestSingleLeafTree(t *testing.T) {
 }
 
 func TestAllIdenticalPoints(t *testing.T) {
-	pts := make([][]float64, 100)
-	for i := range pts {
-		pts[i] = []float64{7, 7, 7}
+	pts := points.New(100, 3)
+	for i := range pts.Data {
+		pts.Data[i] = 7
 	}
 	tr, err := Build(pts, Options{LeafSize: 4})
 	if err != nil {
@@ -75,8 +80,8 @@ func TestAllIdenticalPoints(t *testing.T) {
 	if !tr.Root.IsLeaf() {
 		t.Fatal("identical points cannot be split; root must be a leaf")
 	}
-	if tr.Root.Count != 100 {
-		t.Fatalf("count = %d, want 100", tr.Root.Count)
+	if tr.Root.Count() != 100 {
+		t.Fatalf("count = %d, want 100", tr.Root.Count())
 	}
 	for j := 0; j < 3; j++ {
 		if tr.Root.Min[j] != 7 || tr.Root.Max[j] != 7 {
@@ -89,11 +94,13 @@ func TestHeavyDuplicates(t *testing.T) {
 	// Half the points at one location, half spread out: splits must still
 	// terminate and preserve every point.
 	rng := rand.New(rand.NewSource(2))
-	pts := make([][]float64, 0, 2000)
+	pts := points.New(2000, 2)
 	for i := 0; i < 1000; i++ {
-		pts = append(pts, []float64{5, 5})
+		pts.Data[2*i], pts.Data[2*i+1] = 5, 5
 	}
-	pts = append(pts, randomPoints(rng, 1000, 2)...)
+	for i := 2000; i < len(pts.Data); i++ {
+		pts.Data[i] = rng.NormFloat64() * 10
+	}
 	tr, err := Build(pts, Options{LeafSize: 8})
 	if err != nil {
 		t.Fatal(err)
@@ -101,19 +108,21 @@ func TestHeavyDuplicates(t *testing.T) {
 	checkInvariants(t, tr)
 }
 
-// checkInvariants walks the tree verifying: counts sum, points inside
-// boxes, child boxes inside parent boxes, and total point preservation.
+// checkInvariants walks the tree verifying: counts sum, ranges partition,
+// points inside boxes, child boxes inside parent boxes, and total point
+// preservation.
 func checkInvariants(t *testing.T, tr *Tree) {
 	t.Helper()
 	total := 0
 	var walk func(n *Node)
 	walk = func(n *Node) {
+		if n.Lo < 0 || n.Hi > tr.Size || n.Lo >= n.Hi {
+			t.Fatalf("node range [%d, %d) out of bounds", n.Lo, n.Hi)
+		}
 		if n.IsLeaf() {
-			if len(n.Points) != n.Count {
-				t.Fatalf("leaf count %d != stored %d", n.Count, len(n.Points))
-			}
-			total += n.Count
-			for _, p := range n.Points {
+			total += n.Count()
+			for i := n.Lo; i < n.Hi; i++ {
+				p := tr.Pts.Row(i)
 				for j, v := range p {
 					if v < n.Min[j] || v > n.Max[j] {
 						t.Fatalf("point %v outside box [%v, %v] dim %d", p, n.Min, n.Max, j)
@@ -122,11 +131,12 @@ func checkInvariants(t *testing.T, tr *Tree) {
 			}
 			return
 		}
-		if n.Points != nil {
-			t.Fatal("interior node stores points")
+		if n.Left.Lo != n.Lo || n.Right.Hi != n.Hi || n.Left.Hi != n.Right.Lo {
+			t.Fatalf("children [%d,%d)+[%d,%d) do not partition [%d,%d)",
+				n.Left.Lo, n.Left.Hi, n.Right.Lo, n.Right.Hi, n.Lo, n.Hi)
 		}
-		if n.Left.Count+n.Right.Count != n.Count {
-			t.Fatalf("child counts %d+%d != %d", n.Left.Count, n.Right.Count, n.Count)
+		if n.Left.Count()+n.Right.Count() != n.Count() {
+			t.Fatalf("child counts %d+%d != %d", n.Left.Count(), n.Right.Count(), n.Count())
 		}
 		for _, c := range []*Node{n.Left, n.Right} {
 			for j := range n.Min {
@@ -167,9 +177,9 @@ func TestTreeInvariantsProperty(t *testing.T) {
 					return
 				}
 				if nd.IsLeaf() {
-					total += nd.Count
-					for _, p := range nd.Points {
-						for j, v := range p {
+					total += nd.Count()
+					for i := nd.Lo; i < nd.Hi; i++ {
+						for j, v := range tr.Pts.Row(i) {
 							if v < nd.Min[j] || v > nd.Max[j] {
 								ok = false
 							}
@@ -177,7 +187,7 @@ func TestTreeInvariantsProperty(t *testing.T) {
 					}
 					return
 				}
-				if nd.Left.Count+nd.Right.Count != nd.Count {
+				if nd.Left.Count()+nd.Right.Count() != nd.Count() {
 					ok = false
 					return
 				}
@@ -217,8 +227,8 @@ func TestDistanceBoundsProperty(t *testing.T) {
 				return
 			}
 			if n.IsLeaf() {
-				for _, p := range n.Points {
-					s := sqDist(q, p, invH2)
+				for i := n.Lo; i < n.Hi; i++ {
+					s := sqDist(q, tr.Pts.Row(i), invH2)
 					if s < lo-1e-9 || s > hi+1e-9 {
 						ok = false
 						return
@@ -238,7 +248,7 @@ func TestDistanceBoundsProperty(t *testing.T) {
 }
 
 func TestMinSqDistInsideBoxIsZero(t *testing.T) {
-	pts := [][]float64{{0, 0}, {10, 10}}
+	pts := storeOf([][]float64{{0, 0}, {10, 10}})
 	tr, _ := Build(pts, Options{})
 	invH2 := []float64{1, 1}
 	if got := tr.Root.MinSqDist([]float64{5, 5}, invH2); got != 0 {
@@ -264,8 +274,8 @@ func TestForEachInRangeMatchesBruteForce(t *testing.T) {
 		q := []float64{rng.NormFloat64() * 10, rng.NormFloat64() * 10}
 		sqR := rng.Float64() * 100
 		want := 0
-		for _, p := range pts {
-			if sqDist(q, p, invH2) <= sqR {
+		for i := 0; i < pts.Len(); i++ {
+			if sqDist(q, pts.Row(i), invH2) <= sqR {
 				want++
 			}
 		}
@@ -339,7 +349,7 @@ func BenchmarkRangeQuery(b *testing.B) {
 }
 
 func TestForEachInRangeZeroRadius(t *testing.T) {
-	pts := [][]float64{{1, 1}, {2, 2}, {1, 1}}
+	pts := storeOf([][]float64{{1, 1}, {2, 2}, {1, 1}})
 	tr, err := Build(pts, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -375,13 +385,13 @@ func TestEquiWidthSplitsAtTrimmedMidpoint(t *testing.T) {
 	// 80 points near 0, 20 points near 100: the 90th percentile falls in
 	// the far cluster, so the trimmed midpoint (≈50) separates the
 	// clusters, while a median split would cut inside the big cluster.
-	var pts [][]float64
+	pts := points.New(100, 1)
 	rng := rand.New(rand.NewSource(9))
 	for i := 0; i < 80; i++ {
-		pts = append(pts, []float64{rng.NormFloat64()})
+		pts.Data[i] = rng.NormFloat64()
 	}
-	for i := 0; i < 20; i++ {
-		pts = append(pts, []float64{100 + rng.NormFloat64()})
+	for i := 80; i < 100; i++ {
+		pts.Data[i] = 100 + rng.NormFloat64()
 	}
 	tr, err := Build(pts, Options{LeafSize: 16, Split: SplitEquiWidth})
 	if err != nil {
@@ -396,15 +406,15 @@ func TestEquiWidthSplitsAtTrimmedMidpoint(t *testing.T) {
 	if l.Max[0] > 50 || r.Min[0] < 50 {
 		t.Fatalf("equi-width split failed to separate clusters: left max %v, right min %v", l.Max[0], r.Min[0])
 	}
-	if l.Count != 80 || r.Count != 20 {
-		t.Fatalf("cluster counts %d/%d, want 80/20", l.Count, r.Count)
+	if l.Count() != 80 || r.Count() != 20 {
+		t.Fatalf("cluster counts %d/%d, want 80/20", l.Count(), r.Count())
 	}
 
 	med, err := Build(pts, Options{LeafSize: 16, Split: SplitMedian})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if med.Root.Left.Count != 50 && med.Root.Right.Count != 50 {
-		t.Fatalf("median split should balance: %d/%d", med.Root.Left.Count, med.Root.Right.Count)
+	if med.Root.Left.Count() != 50 && med.Root.Right.Count() != 50 {
+		t.Fatalf("median split should balance: %d/%d", med.Root.Left.Count(), med.Root.Right.Count())
 	}
 }

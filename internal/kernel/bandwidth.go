@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"tkdc/internal/points"
 	"tkdc/internal/stats"
 )
 
@@ -20,16 +21,16 @@ import (
 // Columns with zero standard deviation (constant columns) carry no density
 // information; their bandwidth is set to b·n^{−1/(d+4)} (σ replaced by 1)
 // so the kernel stays finite and normalizable.
-func ScottBandwidths(rows [][]float64, b float64) ([]float64, error) {
-	if len(rows) == 0 {
+func ScottBandwidths(pts *points.Store, b float64) ([]float64, error) {
+	if pts.Len() == 0 {
 		return nil, errors.New("kernel: Scott bandwidth of empty dataset")
 	}
 	if b <= 0 {
 		return nil, fmt.Errorf("kernel: bandwidth factor b = %v must be positive", b)
 	}
-	d := len(rows[0])
-	sigmas := stats.ColumnStdDevs(rows)
-	factor := b * scottFactor(len(rows), d)
+	d := pts.Dim
+	sigmas := stats.ColumnStdDevsFlat(pts.Data, d)
+	factor := b * scottFactor(pts.Len(), d)
 	h := make([]float64, d)
 	for i, s := range sigmas {
 		if s <= 0 {

@@ -57,6 +57,33 @@ func At(k Kernel, a, b []float64) float64 {
 	return k.FromScaledSqDist(ScaledSqDist(a, b, k.InvBandwidthsSq()))
 }
 
+// Sum evaluates the kernel at x against every row of a flat row-major
+// buffer (row width len(x)) and returns the sum of kernel values — the
+// batch form of leaf expansion. Concrete kernels get a direct loop with
+// no per-point interface dispatch; other implementations fall back to a
+// generic sweep. The summation order matches evaluating rows first to
+// last, so results are bit-identical to the scalar loop.
+func Sum(k Kernel, x, rows []float64) float64 {
+	switch kk := k.(type) {
+	case *Gaussian:
+		return kk.SumFlat(x, rows)
+	case *Epanechnikov:
+		return kk.SumFlat(x, rows)
+	}
+	d := len(x)
+	invH2 := k.InvBandwidthsSq()
+	sum := 0.0
+	for off := 0; off < len(rows); off += d {
+		s := 0.0
+		for j, xj := range x {
+			diff := xj - rows[off+j]
+			s += diff * diff * invH2[j]
+		}
+		sum += k.FromScaledSqDist(s)
+	}
+	return sum
+}
+
 func validateBandwidths(h []float64) error {
 	if len(h) == 0 {
 		return errors.New("kernel: empty bandwidth vector")
@@ -151,6 +178,26 @@ func (g *Gaussian) FromScaledSqDist(s float64) float64 {
 	return g.norm * math.Exp(-0.5*s)
 }
 
+// SumFlat sums the kernel over every row of a flat row-major buffer with
+// row width len(x), sweeping the buffer contiguously.
+func (g *Gaussian) SumFlat(x, rows []float64) float64 {
+	d := len(x)
+	sum := 0.0
+	for off := 0; off < len(rows); off += d {
+		row := rows[off : off+d]
+		s := 0.0
+		for j, xj := range x {
+			diff := xj - row[j]
+			s += diff * diff * g.invH2[j]
+		}
+		if s >= gaussianCutoffSq {
+			continue
+		}
+		sum += g.norm * math.Exp(-0.5*s)
+	}
+	return sum
+}
+
 // AtZero returns the kernel's peak value.
 func (g *Gaussian) AtZero() float64 { return g.norm }
 
@@ -215,6 +262,26 @@ func (e *Epanechnikov) FromScaledSqDist(s float64) float64 {
 		return 0
 	}
 	return e.norm * (1 - s)
+}
+
+// SumFlat sums the kernel over every row of a flat row-major buffer with
+// row width len(x), sweeping the buffer contiguously.
+func (e *Epanechnikov) SumFlat(x, rows []float64) float64 {
+	d := len(x)
+	sum := 0.0
+	for off := 0; off < len(rows); off += d {
+		row := rows[off : off+d]
+		s := 0.0
+		for j, xj := range x {
+			diff := xj - row[j]
+			s += diff * diff * e.invH2[j]
+		}
+		if s >= 1 {
+			continue
+		}
+		sum += e.norm * (1 - s)
+	}
+	return sum
 }
 
 // AtZero returns the kernel's peak value.

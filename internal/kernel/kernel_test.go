@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"tkdc/internal/points"
 )
 
 func TestNewGaussianValidation(t *testing.T) {
@@ -198,9 +200,9 @@ func TestEpanechnikovSupport(t *testing.T) {
 func TestScottBandwidths(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	const n, d = 10000, 3
-	rows := make([][]float64, n)
-	for i := range rows {
-		rows[i] = []float64{rng.NormFloat64() * 1, rng.NormFloat64() * 5, rng.NormFloat64() * 0.2}
+	rows := points.New(n, d)
+	for i := 0; i < n; i++ {
+		copy(rows.Row(i), []float64{rng.NormFloat64() * 1, rng.NormFloat64() * 5, rng.NormFloat64() * 0.2})
 	}
 	h, err := ScottBandwidths(rows, 1)
 	if err != nil {
@@ -227,7 +229,10 @@ func TestScottBandwidths(t *testing.T) {
 }
 
 func TestScottBandwidthsConstantColumn(t *testing.T) {
-	rows := [][]float64{{1, 7}, {2, 7}, {3, 7}}
+	rows, err := points.FromRows([][]float64{{1, 7}, {2, 7}, {3, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	h, err := ScottBandwidths(rows, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -238,13 +243,17 @@ func TestScottBandwidthsConstantColumn(t *testing.T) {
 }
 
 func TestScottBandwidthsErrors(t *testing.T) {
+	one, err := points.FromRows([][]float64{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := ScottBandwidths(nil, 1); err == nil {
 		t.Fatal("empty dataset should error")
 	}
-	if _, err := ScottBandwidths([][]float64{{1}}, 0); err == nil {
+	if _, err := ScottBandwidths(one, 0); err == nil {
 		t.Fatal("b=0 should error")
 	}
-	if _, err := ScottBandwidths([][]float64{{1}}, -1); err == nil {
+	if _, err := ScottBandwidths(one, -1); err == nil {
 		t.Fatal("b<0 should error")
 	}
 }

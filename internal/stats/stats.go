@@ -114,6 +114,38 @@ func ColumnStdDevs(rows [][]float64) []float64 {
 	return out
 }
 
+// ColumnStdDevsFlat is ColumnStdDevs over flat row-major storage: data
+// holds rows of width dim back to back. The accumulation order matches
+// ColumnStdDevs row for row, so results are bit-identical.
+func ColumnStdDevsFlat(data []float64, dim int) []float64 {
+	if len(data) == 0 || dim <= 0 {
+		return nil
+	}
+	n := len(data) / dim
+	means := make([]float64, dim)
+	for off := 0; off < len(data); off += dim {
+		for i := 0; i < dim; i++ {
+			means[i] += data[off+i]
+		}
+	}
+	inv := 1 / float64(n)
+	for i := range means {
+		means[i] *= inv
+	}
+	vars := make([]float64, dim)
+	for off := 0; off < len(data); off += dim {
+		for i := 0; i < dim; i++ {
+			dv := data[off+i] - means[i]
+			vars[i] += dv * dv
+		}
+	}
+	out := make([]float64, dim)
+	for i := range vars {
+		out[i] = math.Sqrt(vars[i] * inv)
+	}
+	return out
+}
+
 // OrderStatistic returns the k-th smallest element (1-based) of xs without
 // modifying xs. It copies and sorts; callers on hot paths should pre-sort
 // and use SortedOrderStatistic.

@@ -101,10 +101,20 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // and grid cache, and refines the threshold to t̃(p) by scoring every
 // training point with threshold-pruned traversals (Algorithm 1).
 //
-// The row slices are referenced, not copied; callers must not mutate them
-// after Train returns. Training is deterministic for a fixed Config.Seed.
+// The rows are copied into the classifier's own contiguous storage, so
+// callers are free to mutate or discard data after Train returns.
+// Training is deterministic for a fixed Config.Seed.
 func Train(data [][]float64, cfg Config) (*Classifier, error) {
 	return core.Train(data, cfg)
+}
+
+// TrainFlat is Train for data already in flat row-major form: flat holds
+// n·dim coordinates with point i occupying flat[i*dim : (i+1)*dim]. The
+// buffer is copied in, like Train. Use this to avoid building a
+// [][]float64 when the data source is already contiguous (a matrix, a
+// column file, an mmap'd array).
+func TrainFlat(flat []float64, dim int, cfg Config) (*Classifier, error) {
+	return core.TrainFlat(flat, dim, cfg)
 }
 
 // TrainDefault is Train with DefaultConfig.
