@@ -170,6 +170,26 @@ func BenchmarkScore(b *testing.B) {
 	}
 }
 
+// BenchmarkScoreTelemetry measures the recorder's hot-path cost: "off"
+// is the default no-op recorder (one atomic bool load per query, the
+// configuration BenchmarkScore runs under), "on" a live registry taking
+// two time reads plus histogram updates per query. The off/on delta is
+// the price of the observability layer; off must stay within noise of
+// BenchmarkScore.
+func BenchmarkScoreTelemetry(b *testing.B) {
+	const n = 50000
+	data := benchData(b, "gauss", n, 2)
+	b.Run("off", func(b *testing.B) {
+		clf := benchClassifier(b, "teleoff", data, nil)
+		scoreLoop(b, clf, data)
+	})
+	b.Run("on", func(b *testing.B) {
+		reg := tkdc.NewRegistry()
+		clf := benchClassifier(b, "teleon", data, func(c *tkdc.Config) { c.Recorder = reg })
+		scoreLoop(b, clf, data)
+	})
+}
+
 func BenchmarkFig1ShuttleClassify(b *testing.B) {
 	data := benchData(b, "shuttle", 20000, 2)
 	clf := benchClassifier(b, "fig1", data, nil)

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"tkdc/internal/bench"
+	"tkdc/internal/telemetry"
 )
 
 func main() {
@@ -26,6 +27,7 @@ func main() {
 		maxQueries = flag.Int("maxqueries", 2000, "maximum measured queries per algorithm (throughput is extrapolated)")
 		seed       = flag.Int64("seed", 42, "random seed for dataset generation and training")
 		list       = flag.Bool("list", false, "list available experiments and exit")
+		stats      = flag.Bool("stats", false, "print a post-run telemetry summary (tKDC phase traces, work histograms) to stderr")
 	)
 	flag.Parse()
 
@@ -42,8 +44,15 @@ func main() {
 		Seed:       *seed,
 		Out:        os.Stdout,
 	}
+	if *stats {
+		opts.Recorder = telemetry.Default
+	}
 	if _, err := bench.Run(*experiment, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "tkdc-bench:", err)
 		os.Exit(1)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "tkdc-bench: telemetry across all tKDC classifiers in the run\n%s",
+			telemetry.Default.Snapshot())
 	}
 }

@@ -8,19 +8,36 @@
 //	tkdc -train data.csv -p 0.05 -density     # also print density bounds
 //	tkdc -train data.csv -save model.tkdc     # persist the trained model
 //	tkdc -load model.tkdc -query probes.csv   # serve queries, no retraining
+//	tkdc -train data.csv -stats               # post-run telemetry summary
+//	tkdc -train data.csv -serve :8080         # HTTP serving mode
 //
 // Output is CSV: label[,lower,upper] per query row, preceded by a summary
-// of the trained model on stderr.
+// of the trained model on stderr. With -stats, a telemetry report (train
+// phase spans, query latency percentiles, kernels per query) follows on
+// stderr. With -serve, no batch classification happens; instead the
+// process serves POST /classify (CSV or JSON rows) plus /metrics,
+// /healthz, and /debug/pprof/* until interrupted.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
 	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
 
 	"tkdc"
 	"tkdc/internal/dataset"
+	"tkdc/internal/server"
+	"tkdc/internal/telemetry"
 )
 
 func main() {
@@ -33,14 +50,23 @@ func main() {
 		eps       = flag.Float64("epsilon", 0.01, "multiplicative classification error")
 		delta     = flag.Float64("delta", 0.01, "threshold bound failure probability")
 		bw        = flag.Float64("b", 1, "bandwidth scale factor (Scott's rule multiplier)")
-		workers   = flag.Int("workers", 1, "classification goroutines")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "classification goroutines")
 		seed      = flag.Int64("seed", 42, "training seed")
 		density   = flag.Bool("density", false, "print density bounds alongside labels")
+		stats     = flag.Bool("stats", false, "print a post-run telemetry summary to stderr")
+		serve     = flag.String("serve", "", "serve HTTP on this address (e.g. :8080) instead of batch-classifying")
 	)
 	flag.Parse()
 	if (*trainPath == "") == (*loadPath == "") {
 		fmt.Fprintln(os.Stderr, "tkdc: exactly one of -train or -load is required")
 		os.Exit(2)
+	}
+
+	// -stats and -serve both record into the process-wide registry, so
+	// tkdc.Metrics() and the /metrics endpoint see the same stream.
+	var reg *telemetry.Registry
+	if *stats || *serve != "" {
+		reg = telemetry.Default
 	}
 
 	var clf *tkdc.Classifier
@@ -55,8 +81,11 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		if *queryPath == "" {
-			fmt.Fprintln(os.Stderr, "tkdc: -load requires -query")
+		if reg != nil {
+			clf.SetRecorder(reg)
+		}
+		if *queryPath == "" && *serve == "" {
+			fmt.Fprintln(os.Stderr, "tkdc: -load requires -query or -serve")
 			os.Exit(2)
 		}
 		fmt.Fprintf(os.Stderr, "tkdc: loaded model (n=%d d=%d, threshold %.6g)\n",
@@ -75,6 +104,9 @@ func main() {
 		cfg.BandwidthFactor = *bw
 		cfg.Workers = *workers
 		cfg.Seed = *seed
+		if reg != nil {
+			cfg.Recorder = reg
+		}
 
 		clf, err = tkdc.Train(data, cfg)
 		if err != nil {
@@ -97,6 +129,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tkdc: model saved to %s\n", *savePath)
 		}
 	}
+
+	if *serve != "" {
+		runServer(clf, reg, *serve)
+		return
+	}
+
 	if *queryPath != "" {
 		var err error
 		queries, err = readCSVFile(*queryPath)
@@ -106,7 +144,6 @@ func main() {
 	}
 
 	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
 	for i, q := range queries {
 		if *density {
 			r, err := clf.Score(q)
@@ -122,6 +159,45 @@ func main() {
 		}
 		fmt.Fprintln(w, label)
 	}
+	w.Flush()
+
+	if *stats {
+		fmt.Fprintf(os.Stderr, "tkdc: telemetry\n%s", indent(clf.Snapshot().String()))
+	}
+}
+
+// runServer blocks serving HTTP until SIGINT/SIGTERM, then shuts down
+// gracefully.
+func runServer(clf *tkdc.Classifier, reg *telemetry.Registry, addr string) {
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	handler := server.New(clf, server.Options{Registry: reg, Logger: logger})
+	srv := &http.Server{Addr: addr, Handler: handler}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	logger.Info("serving",
+		slog.String("addr", addr),
+		slog.Int("n", clf.N()),
+		slog.Int("dim", clf.Dim()),
+		slog.Float64("threshold", clf.Threshold()),
+	)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fail(err)
+	}
+	logger.Info("shut down")
+}
+
+// indent prefixes every line for the stderr telemetry block.
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return "  " + strings.Join(lines, "\n  ") + "\n"
 }
 
 func readCSVFile(path string) ([][]float64, error) {

@@ -22,6 +22,7 @@ import (
 	"tkdc/internal/kernel"
 	"tkdc/internal/points"
 	"tkdc/internal/stats"
+	"tkdc/internal/telemetry"
 )
 
 // Options configures an experiment run.
@@ -35,6 +36,19 @@ type Options struct {
 	Seed int64
 	// Out receives the rendered tables (io.Discard if nil).
 	Out io.Writer
+	// Recorder, when non-nil, is attached to every tKDC classifier the
+	// experiments train, so a harness run can be profiled with the same
+	// telemetry (phase traces, work histograms) as production serving.
+	Recorder telemetry.Recorder
+}
+
+// config returns the experiments' base classifier configuration: the
+// paper's Table 1 defaults with the run's seed and recorder attached.
+func (o Options) config() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Seed = o.Seed
+	cfg.Recorder = o.Recorder
+	return cfg
 }
 
 func (o Options) normalized() Options {

@@ -26,8 +26,7 @@ func factorData(opts Options) ([][]float64, error) {
 // classification pass over the dataset (training excluded, matching the
 // paper's Figure 12 methodology).
 func measureFactor(data [][]float64, opts Options, mut func(*core.Config)) (pointsPerSec, kernelsPerPoint float64, err error) {
-	cfg := core.DefaultConfig()
-	cfg.Seed = opts.Seed
+	cfg := opts.config()
 	mut(&cfg)
 	clf, err := core.Train(data, cfg)
 	if err != nil {

@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 
-	"tkdc/internal/core"
 	"tkdc/internal/dataset"
 )
 
@@ -69,9 +68,8 @@ func Figure7(opts Options) ([]Table, error) {
 			bw = 1
 		}
 
-		cfg := core.DefaultConfig()
+		cfg := opts.config()
 		cfg.BandwidthFactor = bw
-		cfg.Seed = opts.Seed
 		tk, err := MeasureTKDC(data, cfg, opts.MaxQueries)
 		if err != nil {
 			return nil, fmt.Errorf("tkdc on %s: %w", p.name, err)

@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 
-	"tkdc/internal/core"
 	"tkdc/internal/dataset"
 )
 
@@ -33,8 +32,7 @@ func scaleRunner(title, note string, sizes []int, load func(n int) ([][]float64,
 		if err != nil {
 			return t, err
 		}
-		cfg := core.DefaultConfig()
-		cfg.Seed = opts.Seed
+		cfg := opts.config()
 		tk, err := MeasureTKDC(data, cfg, opts.MaxQueries)
 		if err != nil {
 			return t, err
@@ -108,8 +106,7 @@ func Figure11(opts Options) ([]Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		cfg := core.DefaultConfig()
-		cfg.Seed = opts.Seed
+		cfg := opts.config()
 		tk, err := MeasureTKDC(data, cfg, opts.MaxQueries)
 		if err != nil {
 			return nil, err
@@ -154,8 +151,7 @@ func Figure14(opts Options) ([]Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		cfg := core.DefaultConfig()
-		cfg.Seed = opts.Seed
+		cfg := opts.config()
 		cfg.BandwidthFactor = 3 // the paper's underflow mitigation for mnist
 		tk, err := MeasureTKDC(data, cfg, opts.MaxQueries)
 		if err != nil {

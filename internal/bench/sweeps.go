@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 
-	"tkdc/internal/core"
 	"tkdc/internal/dataset"
 )
 
@@ -18,8 +17,7 @@ func Figure13(opts Options) ([]Table, error) {
 		return nil, err
 	}
 
-	cfg := core.DefaultConfig()
-	cfg.Seed = opts.Seed
+	cfg := opts.config()
 	tk, err := MeasureTKDC(data, cfg, opts.MaxQueries)
 	if err != nil {
 		return nil, err
@@ -64,9 +62,8 @@ func Figure15(opts Options) ([]Table, error) {
 		Columns: []string{"p", "tkdc q/s", "tkdc kernels/q"},
 	}
 	for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
-		cfg := core.DefaultConfig()
+		cfg := opts.config()
 		cfg.P = p
-		cfg.Seed = opts.Seed
 		tk, err := MeasureTKDC(data, cfg, opts.MaxQueries)
 		if err != nil {
 			return nil, err

@@ -8,13 +8,14 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"tkdc/internal/grid"
 	"tkdc/internal/kdtree"
 	"tkdc/internal/kernel"
 	"tkdc/internal/points"
 	"tkdc/internal/stats"
+	"tkdc/internal/telemetry"
 )
 
 // Label is a density classification outcome.
@@ -67,6 +68,37 @@ type Counters struct {
 // Kernels returns total kernel evaluations, point and bound combined.
 func (c Counters) Kernels() int64 { return c.PointKernels + c.BoundKernels }
 
+// workCounters aggregates per-query work with snapshot coherence: each
+// query commits all of its counters in one critical section, and Stats
+// copies them in one, so a reader can never observe a query counted
+// without its work (or torn totals). One uncontended lock per query
+// costs about the same as the handful of per-field atomic adds it
+// replaces; batch paths (dual-tree) commit once per batch.
+type workCounters struct {
+	mu sync.Mutex
+	c  Counters
+}
+
+// add commits one or more queries' worth of counters atomically with
+// respect to snapshot.
+func (w *workCounters) add(queries, gridHits int64, qs QueryStats) {
+	w.mu.Lock()
+	w.c.Queries += queries
+	w.c.GridHits += gridHits
+	w.c.PointKernels += qs.PointKernels
+	w.c.BoundKernels += qs.BoundKernels
+	w.c.NodesVisited += qs.NodesVisited
+	w.mu.Unlock()
+}
+
+// snapshot returns a coherent copy of the totals.
+func (w *workCounters) snapshot() Counters {
+	w.mu.Lock()
+	c := w.c
+	w.mu.Unlock()
+	return c
+}
+
 // TrainStats describes the training phase.
 type TrainStats struct {
 	N, Dim          int
@@ -80,6 +112,12 @@ type TrainStats struct {
 	TrainKernels int64
 	GridEnabled  bool
 	GridCells    int
+	// Phases is the training trace: one span per bootstrap round
+	// ("bootstrap/round-NN"), the index/grid construction ("assemble"),
+	// and one span per threshold-refinement pass ("refine/pass-N") —
+	// the tolerance-tightening retries of §3.6 appear as extra refine
+	// passes. Span kernel counts sum to TrainKernels.
+	Phases []telemetry.Span
 }
 
 // Classifier is a trained tKDC model. It is immutable after Train and
@@ -101,11 +139,8 @@ type Classifier struct {
 
 	estPool sync.Pool
 
-	queries      atomic.Int64
-	gridHits     atomic.Int64
-	pointKernels atomic.Int64
-	boundKernels atomic.Int64
-	nodesVisited atomic.Int64
+	counters workCounters
+	rec      telemetry.Recorder
 }
 
 // Train fits a tKDC classifier to a slice-of-rows dataset. The rows are
@@ -158,17 +193,25 @@ func TrainStore(data *points.Store, cfg Config) (*Classifier, error) {
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	// Phase 1: probabilistic threshold bounds (Algorithm 3).
+	// Phase 1: probabilistic threshold bounds (Algorithm 3). Each
+	// bootstrap round contributes a trace span.
 	tb, err := boundThreshold(data, cfg, rng)
 	if err != nil {
 		return nil, err
 	}
+	phases := tb.spans
 
 	// Phase 2: full index, kernel, and grid.
+	asmStart := time.Now()
 	c, err := assemble(data, cfg)
 	if err != nil {
 		return nil, err
 	}
+	phases = append(phases, telemetry.Span{
+		Name:     "assemble",
+		Duration: time.Since(asmStart),
+		Items:    int64(data.Len()),
+	})
 	c.tLow, c.tHigh = tb.lo, tb.hi
 
 	// Phase 3: score all training points to refine t̃(p) (Algorithm 1).
@@ -178,9 +221,16 @@ func TrainStore(data *points.Store, cfg Config) (*Classifier, error) {
 	tl, tu := c.tLow, c.tHigh
 	const maxAttempts = 4
 	for attempt := 0; ; attempt++ {
+		passStart := time.Now()
 		densities, passStats := c.trainingDensities(tl, tu)
 		trainKernels += passStats.Kernels()
 		sort.Float64s(densities)
+		phases = append(phases, telemetry.Span{
+			Name:     fmt.Sprintf("refine/pass-%d", attempt+1),
+			Duration: time.Since(passStart),
+			Kernels:  passStats.Kernels(),
+			Items:    int64(data.Len()),
+		})
 		t, qerr := stats.SortedQuantile(densities, cfg.P)
 		if qerr != nil {
 			return nil, qerr
@@ -211,9 +261,15 @@ func TrainStore(data *points.Store, cfg Config) (*Classifier, error) {
 		BootstrapRounds: tb.rounds,
 		TrainKernels:    trainKernels,
 		GridEnabled:     c.grid != nil,
+		Phases:          phases,
 	}
 	if c.grid != nil {
 		c.train.GridCells = c.grid.Cells()
+	}
+	if c.rec.Enabled() {
+		for _, sp := range phases {
+			c.rec.RecordSpan(sp)
+		}
 	}
 	return c, nil
 }
@@ -235,6 +291,10 @@ func assemble(data *points.Store, cfg Config) (*Classifier, error) {
 	if err != nil {
 		return nil, err
 	}
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = telemetry.Nop{}
+	}
 	c := &Classifier{
 		cfg:         cfg,
 		dim:         data.Dim,
@@ -242,6 +302,7 @@ func assemble(data *points.Store, cfg Config) (*Classifier, error) {
 		kern:        kern,
 		tree:        tree,
 		selfContrib: kern.AtZero() / float64(data.Len()),
+		rec:         rec,
 	}
 	c.estPool.New = func() any {
 		return newDensityEstimator(c.tree, c.kern, cfg.DisableThresholdRule, cfg.DisableToleranceRule)
@@ -351,13 +412,28 @@ func (c *Classifier) Score(x []float64) (Result, error) {
 }
 
 // scoreChecked is Score minus query validation, for batch paths that have
-// already validated their inputs.
+// already validated their inputs. Telemetry is gated on the recorder's
+// atomic enabled flag: with the default no-op recorder the only extra
+// work versus an untraced build is that one boolean load.
 func (c *Classifier) scoreChecked(x []float64) Result {
-	c.queries.Add(1)
+	traced := c.rec.Enabled()
+	var start time.Time
+	if traced {
+		start = time.Now()
+	}
 
-	if c.grid != nil {
+	gridChecked := c.grid != nil
+	if gridChecked {
 		if lb := c.grid.LowerBoundDensity(x, c.gridKDiag); lb > c.threshold {
-			c.gridHits.Add(1)
+			c.counters.add(1, 1, QueryStats{})
+			if traced {
+				c.grid.Observe(true)
+				c.rec.RecordQuery(telemetry.QuerySample{
+					Latency:     time.Since(start),
+					GridChecked: true,
+					GridHit:     true,
+				})
+			}
 			return Result{
 				Label: High,
 				Lower: lb,
@@ -365,13 +441,25 @@ func (c *Classifier) scoreChecked(x []float64) Result {
 				Stats: QueryStats{GridHit: true},
 			}
 		}
+		if traced {
+			c.grid.Observe(false)
+		}
 	}
 
 	est := c.getEstimator()
 	var qs QueryStats
 	fl, fu := est.boundDensity(x, c.threshold, c.threshold, c.cfg.Epsilon*c.threshold, &qs)
 	c.putEstimator(est)
-	c.accumulate(qs)
+	c.counters.add(1, 0, qs)
+	if traced {
+		c.rec.RecordQuery(telemetry.QuerySample{
+			Latency:      time.Since(start),
+			PointKernels: qs.PointKernels,
+			BoundKernels: qs.BoundKernels,
+			Nodes:        qs.NodesVisited,
+			GridChecked:  gridChecked,
+		})
+	}
 
 	label := Low
 	if 0.5*(fl+fu) > c.threshold {
@@ -428,12 +516,24 @@ func (c *Classifier) DensityBounds(x []float64, rel float64) (fl, fu float64, er
 	if err := c.checkQuery(x); err != nil {
 		return 0, 0, err
 	}
+	traced := c.rec.Enabled()
+	var start time.Time
+	if traced {
+		start = time.Now()
+	}
 	est := c.getEstimator()
 	var qs QueryStats
 	fl, fu = est.estimateDensity(x, rel, &qs)
 	c.putEstimator(est)
-	c.accumulate(qs)
-	c.queries.Add(1)
+	c.counters.add(1, 0, qs)
+	if traced {
+		c.rec.RecordQuery(telemetry.QuerySample{
+			Latency:      time.Since(start),
+			PointKernels: qs.PointKernels,
+			BoundKernels: qs.BoundKernels,
+			Nodes:        qs.NodesVisited,
+		})
+	}
 	return fl, fu, nil
 }
 
@@ -461,27 +561,51 @@ func (c *Classifier) N() int { return c.data.Len() }
 func (c *Classifier) TrainStats() TrainStats { return c.train }
 
 // Stats returns a snapshot of the work counters accumulated by queries
-// since training (training work is in TrainStats).
+// since training (training work is in TrainStats). The snapshot is
+// coherent under concurrent Classify callers: every query commits all
+// of its counters in one critical section, so Stats never observes a
+// query counted without its work.
 func (c *Classifier) Stats() Counters {
-	return Counters{
-		Queries:      c.queries.Load(),
-		GridHits:     c.gridHits.Load(),
-		PointKernels: c.pointKernels.Load(),
-		BoundKernels: c.boundKernels.Load(),
-		NodesVisited: c.nodesVisited.Load(),
-	}
+	return c.counters.snapshot()
 }
 
-func (c *Classifier) accumulate(qs QueryStats) {
-	if qs.PointKernels != 0 {
-		c.pointKernels.Add(qs.PointKernels)
+// Snapshot returns the telemetry collected by the classifier's
+// recorder — latency and work histograms, grid counters, and the
+// training phase trace — or a zero snapshot when telemetry is off or
+// the recorder does not expose one.
+func (c *Classifier) Snapshot() telemetry.Snapshot {
+	if s, ok := c.rec.(interface{ Snapshot() telemetry.Snapshot }); ok {
+		return s.Snapshot()
 	}
-	if qs.BoundKernels != 0 {
-		c.boundKernels.Add(qs.BoundKernels)
+	return telemetry.Snapshot{}
+}
+
+// SetRecorder replaces the classifier's telemetry recorder; nil
+// restores the no-op. It exists to wire telemetry onto a model that was
+// built without it (a Load-ed snapshot, a Train without Config.Recorder)
+// and must not be called concurrently with queries — attach the
+// recorder before serving begins.
+func (c *Classifier) SetRecorder(r telemetry.Recorder) {
+	if r == nil {
+		r = telemetry.Nop{}
 	}
-	if qs.NodesVisited != 0 {
-		c.nodesVisited.Add(qs.NodesVisited)
+	c.rec = r
+}
+
+// TreeStats reports the shape of the spatial index (node and leaf
+// counts, maximum depth) — the denominator for interpreting the
+// nodes-visited histogram.
+func (c *Classifier) TreeStats() kdtree.Stats { return c.tree.Stats() }
+
+// GridCounters returns the hypergrid cache's hit/miss lookup counters.
+// They are populated only while telemetry is enabled (the grid lookup
+// stays side-effect-free otherwise) and are zero when the grid is
+// disabled.
+func (c *Classifier) GridCounters() (hits, misses int64) {
+	if c.grid == nil {
+		return 0, 0
 	}
+	return c.grid.Counters()
 }
 
 func (c *Classifier) checkQuery(x []float64) error {

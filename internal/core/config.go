@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"tkdc/internal/kdtree"
+	"tkdc/internal/telemetry"
 )
 
 // KernelFamily selects the kernel used by the density estimate.
@@ -87,6 +88,15 @@ type Config struct {
 	// the training density pass; values below 2 mean single-threaded,
 	// matching the paper's prototype.
 	Workers int
+
+	// Recorder receives per-query telemetry samples (latency, kernel
+	// evaluations, nodes visited) and training phase spans. Nil means
+	// telemetry is off: the no-op recorder is used and the query path
+	// performs no timing calls. Point it at a *telemetry.Registry to
+	// collect latency and work histograms. The recorder is runtime
+	// wiring, not model state — Save does not persist it, and Load
+	// starts with telemetry off (see Classifier.SetRecorder).
+	Recorder telemetry.Recorder
 }
 
 // DefaultConfig returns the parameter defaults of Table 1: p = 0.01,

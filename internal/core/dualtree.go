@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"tkdc/internal/kdtree"
+	"tkdc/internal/telemetry"
 )
 
 // ClassifyAllDualTree labels a batch of query points using a dual-tree
@@ -39,15 +41,27 @@ func (c *Classifier) ClassifyAllDualTree(points [][]float64) ([]Label, error) {
 	for i := range idx {
 		idx[i] = i
 	}
+	traced := c.rec.Enabled()
+	var start time.Time
+	if traced {
+		start = time.Now()
+	}
 	est := c.getEstimator()
 	defer c.putEstimator(est)
 	g := &groupClassifier{c: c, est: est, points: points, out: out}
 	g.classify(idx, 0)
-	c.queries.Add(int64(len(points)))
-	if g.gridHits > 0 {
-		c.gridHits.Add(g.gridHits)
+	c.counters.add(int64(len(points)), g.gridHits, g.stats)
+	if traced {
+		// The dual-tree pass amortizes one traversal over many queries,
+		// so per-query latency is meaningless; trace the batch as a span
+		// instead.
+		c.rec.RecordSpan(telemetry.Span{
+			Name:     "dualtree/batch",
+			Duration: time.Since(start),
+			Kernels:  g.stats.Kernels(),
+			Items:    int64(len(points)),
+		})
 	}
-	c.accumulate(g.stats)
 	return out, nil
 }
 

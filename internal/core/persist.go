@@ -40,9 +40,15 @@ const modelVersion = 2
 // retraining. The format is Go-specific (encoding/gob) and versioned;
 // the dataset is written as the flat row-major buffer of format v2.
 func (c *Classifier) Save(w io.Writer) error {
+	cfg := c.cfg
+	// The recorder is live runtime wiring, not model state: drop it so
+	// gob never sees a non-nil interface (which it cannot encode without
+	// registration). Load-ed models start with telemetry off; reattach
+	// with SetRecorder.
+	cfg.Recorder = nil
 	snap := modelSnapshot{
 		Version:   modelVersion,
-		Config:    c.cfg,
+		Config:    cfg,
 		Flat:      c.data.Data,
 		Dim:       c.data.Dim,
 		Threshold: c.threshold,

@@ -5,11 +5,13 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"tkdc/internal/kdtree"
 	"tkdc/internal/kernel"
 	"tkdc/internal/points"
 	"tkdc/internal/stats"
+	"tkdc/internal/telemetry"
 )
 
 // thresholdBound is the outcome of Algorithm 3: probabilistic bounds on
@@ -18,6 +20,9 @@ type thresholdBound struct {
 	lo, hi  float64
 	rounds  int // bootstrap rounds run (including retries)
 	queries QueryStats
+	// spans traces each round (including retries): duration, kernel
+	// evaluations, and the subsample size it trained on.
+	spans []telemetry.Span
 }
 
 // boundThreshold is Algorithm 3. It bootstraps bounds on the quantile
@@ -38,6 +43,8 @@ func boundThreshold(data *points.Store, cfg Config, rng *rand.Rand) (thresholdBo
 	retries := 0
 	for {
 		res.rounds++
+		roundStart := time.Now()
+		kernelsBefore := res.queries.Kernels()
 		xr := sampleRows(data, r, rng)
 
 		h, err := kernel.ScottBandwidths(xr, cfg.BandwidthFactor)
@@ -73,6 +80,13 @@ func boundThreshold(data *points.Store, cfg Config, rng *rand.Rand) (thresholdBo
 			densities[i] = 0.5*(fl+fu) - selfContrib
 		}
 		sort.Float64s(densities)
+
+		res.spans = append(res.spans, telemetry.Span{
+			Name:     fmt.Sprintf("bootstrap/round-%02d", res.rounds),
+			Duration: time.Since(roundStart),
+			Kernels:  res.queries.Kernels() - kernelsBefore,
+			Items:    int64(r),
+		})
 
 		l, u, err := stats.QuantileCIIndices(sEff, cfg.P, cfg.Delta)
 		if err != nil {

@@ -92,6 +92,38 @@ type Tree struct {
 	// set: node ranges index into it, and Pts.Slab(n.Lo, n.Hi) is the
 	// contiguous leaf scan. Readers must treat it as immutable.
 	Pts *points.Store
+
+	stats Stats
+}
+
+// Stats describes the shape of a built tree — the structural context
+// behind per-query node-visit telemetry (a query visiting close to
+// Nodes has degenerated to a full scan; MaxDepth bounds traversal stack
+// behaviour).
+type Stats struct {
+	// Nodes counts all nodes, interior and leaf.
+	Nodes int
+	// Leaves counts leaf nodes.
+	Leaves int
+	// MaxDepth is the deepest node's depth, counting the root as 1.
+	MaxDepth int
+}
+
+// Stats returns the tree's shape, computed once at Build.
+func (t *Tree) Stats() Stats { return t.stats }
+
+// measure walks the subtree accumulating shape statistics.
+func measure(n *Node, depth int, s *Stats) {
+	s.Nodes++
+	if depth > s.MaxDepth {
+		s.MaxDepth = depth
+	}
+	if n.IsLeaf() {
+		s.Leaves++
+		return
+	}
+	measure(n.Left, depth+1, s)
+	measure(n.Right, depth+1, s)
 }
 
 // Leaf returns the contiguous flat view of the node's points — the batch
@@ -116,6 +148,7 @@ func Build(pts *points.Store, opts Options) (*Tree, error) {
 	}
 	t := &Tree{Dim: pts.Dim, Size: pts.Len(), Opts: opts, Pts: pts.Clone()}
 	t.Root = t.build(0, t.Size, 0)
+	measure(t.Root, 1, &t.stats)
 	return t, nil
 }
 

@@ -418,3 +418,49 @@ func TestEquiWidthSplitsAtTrimmedMidpoint(t *testing.T) {
 		t.Fatalf("median split should balance: %d/%d", med.Root.Left.Count(), med.Root.Right.Count())
 	}
 }
+
+// TestTreeStats checks the shape statistics computed at Build: a full
+// binary tree has Nodes = 2*Leaves - 1, every point lives in exactly one
+// leaf, and the depth is consistent with the leaf-size bound.
+func TestTreeStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 7, 100, 1000} {
+		pts := randomPoints(rng, n, 3)
+		tr, err := Build(pts, Options{LeafSize: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := tr.Stats()
+		if s.Nodes != 2*s.Leaves-1 {
+			t.Fatalf("n=%d: Nodes = %d, Leaves = %d; want Nodes = 2*Leaves-1", n, s.Nodes, s.Leaves)
+		}
+		if s.MaxDepth < 1 {
+			t.Fatalf("n=%d: MaxDepth = %d, want >= 1", n, s.MaxDepth)
+		}
+		// Every split halves at worst unevenly but strictly, so depth
+		// cannot exceed the point count.
+		if s.MaxDepth > n {
+			t.Fatalf("n=%d: MaxDepth = %d exceeds point count", n, s.MaxDepth)
+		}
+		// Count points by walking leaves.
+		var total int
+		var walk func(node *Node)
+		walk = func(node *Node) {
+			if node.IsLeaf() {
+				total += node.Count()
+				return
+			}
+			walk(node.Left)
+			walk(node.Right)
+		}
+		walk(tr.Root)
+		if total != n {
+			t.Fatalf("n=%d: leaves hold %d points", n, total)
+		}
+		if n <= 16 {
+			if s.Leaves != 1 || s.MaxDepth != 1 {
+				t.Fatalf("n=%d fits one leaf: stats %+v", n, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,330 @@
+// Package server implements the tkdc -serve HTTP mode: classification
+// over HTTP (CSV or JSON rows) with structured request logging, plus the
+// observability surface — /metrics (plain-text exposition of the
+// telemetry registry and model gauges), /healthz, expvar at /debug/vars,
+// and the net/http/pprof profiling handlers at /debug/pprof/*.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tkdc/internal/core"
+	"tkdc/internal/dataset"
+	"tkdc/internal/telemetry"
+)
+
+// DefaultMaxBodyBytes caps classify request bodies when Options leaves
+// MaxBodyBytes zero.
+const DefaultMaxBodyBytes = 32 << 20
+
+// Options configures New.
+type Options struct {
+	// Registry supplies the telemetry behind /metrics; nil falls back to
+	// telemetry.Default. For the histograms to move, the classifier's
+	// recorder must point at the same registry (the CLI wires both).
+	Registry *telemetry.Registry
+	// Logger receives one structured line per request; nil disables
+	// request logging.
+	Logger *slog.Logger
+	// MaxBodyBytes caps classify request bodies (DefaultMaxBodyBytes
+	// if 0).
+	MaxBodyBytes int64
+}
+
+// Server serves classification and observability endpoints over one
+// trained classifier. It implements http.Handler; every request passes
+// through the structured-logging middleware.
+type Server struct {
+	clf *core.Classifier
+	reg *telemetry.Registry
+	log *slog.Logger
+	max int64
+	mux *http.ServeMux
+
+	started  time.Time
+	requests atomic.Int64
+}
+
+// current is the server behind the process-wide expvar publication;
+// expvar names are global and cannot be unpublished, so the variable is
+// registered once and always reads through this pointer (tests may
+// build several servers).
+var (
+	current    atomic.Pointer[Server]
+	expvarOnce sync.Once
+)
+
+// New builds a Server over a trained classifier.
+func New(clf *core.Classifier, opts Options) *Server {
+	s := &Server{
+		clf:     clf,
+		reg:     opts.Registry,
+		log:     opts.Logger,
+		max:     opts.MaxBodyBytes,
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	if s.reg == nil {
+		s.reg = telemetry.Default
+	}
+	if s.max <= 0 {
+		s.max = DefaultMaxBodyBytes
+	}
+
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/classify", s.handleClassify)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	current.Store(s)
+	expvarOnce.Do(func() {
+		expvar.Publish("tkdc", expvar.Func(func() any {
+			srv := current.Load()
+			if srv == nil {
+				return nil
+			}
+			return srv.expvarSnapshot()
+		}))
+	})
+	return s
+}
+
+// ServeHTTP dispatches through the logging middleware.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if s.log == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	s.log.Info("request",
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", sw.status),
+		slog.Int64("bytes", sw.bytes),
+		slog.Duration("duration", time.Since(start)),
+		slog.String("remote", r.RemoteAddr),
+	)
+}
+
+// statusWriter captures the status code and body size for the request
+// log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer so pprof's streaming
+// endpoints (profile, trace) keep working through the middleware.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"n":              s.clf.N(),
+		"dim":            s.clf.Dim(),
+		"threshold":      s.clf.Threshold(),
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	})
+}
+
+// classifyRequest is the JSON request body: {"points": [[x, y], ...]}.
+// A bare top-level array of rows is also accepted.
+type classifyRequest struct {
+	Points [][]float64 `json:"points"`
+}
+
+// classifyResult is one per-point response entry in density mode.
+type classifyResult struct {
+	Label    string  `json:"label"`
+	Lower    float64 `json:"lower"`
+	Upper    float64 `json:"upper,omitempty"` // omitted when +Inf (grid hit)
+	Estimate float64 `json:"estimate"`
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST a CSV or JSON body of query rows")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.max+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	if int64(len(body)) > s.max {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", s.max))
+		return
+	}
+	points, err := parsePoints(r.Header.Get("Content-Type"), body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(points) == 0 {
+		writeError(w, http.StatusBadRequest, "no query rows in body")
+		return
+	}
+
+	if wantDensity(r) {
+		results := make([]classifyResult, len(points))
+		for i, x := range points {
+			res, err := s.clf.Score(x)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("row %d: %v", i, err))
+				return
+			}
+			cr := classifyResult{Label: res.Label.String(), Lower: res.Lower, Estimate: res.Estimate()}
+			if !math.IsInf(res.Upper, 1) {
+				cr.Upper = res.Upper
+			}
+			results[i] = cr
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"results": results})
+		return
+	}
+
+	labels, err := s.clf.ClassifyAll(points)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	out := make([]string, len(labels))
+	for i, l := range labels {
+		out[i] = l.String()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"labels": out})
+}
+
+// parsePoints decodes the request body: JSON ({"points": [[...]]} or a
+// bare [[...]] array) when the content type says JSON or the body looks
+// like it, CSV rows otherwise.
+func parsePoints(contentType string, body []byte) ([][]float64, error) {
+	trimmed := bytes.TrimSpace(body)
+	isJSON := strings.Contains(contentType, "json") ||
+		(len(trimmed) > 0 && (trimmed[0] == '{' || trimmed[0] == '['))
+	if isJSON {
+		if trimmed[0] == '[' {
+			var rows [][]float64
+			if err := json.Unmarshal(trimmed, &rows); err != nil {
+				return nil, fmt.Errorf("parse JSON rows: %w", err)
+			}
+			return rows, nil
+		}
+		var req classifyRequest
+		if err := json.Unmarshal(trimmed, &req); err != nil {
+			return nil, fmt.Errorf("parse JSON body: %w", err)
+		}
+		return req.Points, nil
+	}
+	rows, err := dataset.ReadCSV(bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("parse CSV body: %w", err)
+	}
+	return rows, nil
+}
+
+// wantDensity reports whether the request asked for density bounds
+// alongside labels (?density=1).
+func wantDensity(r *http.Request) bool {
+	switch strings.ToLower(r.URL.Query().Get("density")) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	ts := s.clf.TrainStats()
+	tree := s.clf.TreeStats()
+	gridHits, gridMisses := s.clf.GridCounters()
+
+	var b strings.Builder
+	snap.WriteMetrics(&b)
+	writeGauge := func(name string, v any) {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %v\n", name, name, v)
+	}
+	writeGauge("tkdc_model_points", s.clf.N())
+	writeGauge("tkdc_model_dim", s.clf.Dim())
+	writeGauge("tkdc_model_threshold", s.clf.Threshold())
+	writeGauge("tkdc_train_kernels_total", ts.TrainKernels)
+	writeGauge("tkdc_train_bootstrap_rounds", ts.BootstrapRounds)
+	writeGauge("tkdc_tree_nodes", tree.Nodes)
+	writeGauge("tkdc_tree_leaves", tree.Leaves)
+	writeGauge("tkdc_tree_max_depth", tree.MaxDepth)
+	writeGauge("tkdc_grid_cells", ts.GridCells)
+	fmt.Fprintf(&b, "# TYPE tkdc_grid_cache_hits_total counter\ntkdc_grid_cache_hits_total %d\n", gridHits)
+	fmt.Fprintf(&b, "# TYPE tkdc_grid_cache_misses_total counter\ntkdc_grid_cache_misses_total %d\n", gridMisses)
+	fmt.Fprintf(&b, "# TYPE tkdc_http_requests_total counter\ntkdc_http_requests_total %d\n", s.requests.Load())
+	writeGauge("go_goroutines", runtime.NumGoroutine())
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, b.String())
+}
+
+// expvarSnapshot is the structured value published under the "tkdc"
+// expvar key.
+func (s *Server) expvarSnapshot() map[string]any {
+	snap := s.reg.Snapshot()
+	return map[string]any{
+		"queries":        snap.Queries,
+		"grid_hits":      snap.GridHits,
+		"grid_misses":    snap.GridMisses,
+		"latency_ns_sum": snap.LatencyNS.Sum,
+		"kernels_sum":    snap.Kernels.Sum,
+		"model": map[string]any{
+			"n":         s.clf.N(),
+			"dim":       s.clf.Dim(),
+			"threshold": s.clf.Threshold(),
+		},
+		"http_requests": s.requests.Load(),
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

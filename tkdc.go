@@ -34,6 +34,7 @@ import (
 
 	"tkdc/internal/core"
 	"tkdc/internal/kdtree"
+	"tkdc/internal/telemetry"
 )
 
 // Config carries the density-classification parameters (Table 1 of the
@@ -67,6 +68,28 @@ type KernelFamily = core.KernelFamily
 // SplitRule selects the k-d tree partitioning strategy.
 type SplitRule = kdtree.SplitRule
 
+// Recorder receives per-query telemetry samples and training phase
+// spans; hang one on Config.Recorder (nil keeps telemetry off). See
+// Registry for the standard implementation.
+type Recorder = telemetry.Recorder
+
+// Registry is the standard telemetry recorder: atomic counters plus
+// log-spaced histograms for query latency, kernel evaluations per
+// query, and tree nodes visited, and a phase trace for training.
+type Registry = telemetry.Registry
+
+// MetricsSnapshot is a coherent copy of a Registry: counters, latency
+// and work histograms (with Quantile/Mean accessors), and the phase
+// trace. Its String method renders a human-readable summary.
+type MetricsSnapshot = telemetry.Snapshot
+
+// QuerySample is one query's telemetry: latency and traversal work.
+type QuerySample = telemetry.QuerySample
+
+// PhaseSpan names one bounded phase of batch work (a bootstrap round, a
+// training pass) with its duration and kernel count.
+type PhaseSpan = telemetry.Span
+
 // Classification labels.
 const (
 	// Low marks a point whose density is below the threshold (an outlier
@@ -95,6 +118,21 @@ const (
 
 // DefaultConfig returns the paper's Table 1 parameter defaults.
 func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewRegistry returns a fresh, enabled telemetry registry ready to set
+// as Config.Recorder (or to pass to several classifiers, which then
+// aggregate into one set of histograms).
+func NewRegistry() *Registry { return telemetry.NewRegistry() }
+
+// DefaultRegistry returns the process-wide registry behind Metrics().
+// The tkdc CLI's -serve and -stats modes record into it.
+func DefaultRegistry() *Registry { return telemetry.Default }
+
+// Metrics snapshots the process-wide default registry: query latency
+// and work histograms, grid cache counters, and phase traces from every
+// classifier whose Recorder is DefaultRegistry(). Classifiers without a
+// recorder contribute nothing (telemetry defaults to off).
+func Metrics() MetricsSnapshot { return telemetry.Default.Snapshot() }
 
 // Train fits a tKDC classifier: it bootstraps probabilistic threshold
 // bounds from growing subsamples (Algorithm 3), builds the spatial index
