@@ -170,6 +170,27 @@ func BenchmarkScore(b *testing.B) {
 	}
 }
 
+// BenchmarkScoreParallel hammers Score from GOMAXPROCS goroutines at
+// once (raise with -cpu to push harder). It exists to watch the work
+// counters under contention: every query commits its counters under a
+// sharded lock, and this benchmark is where a regression to a single
+// serializing lock would show up.
+func BenchmarkScoreParallel(b *testing.B) {
+	const n = 50000
+	data := benchData(b, "gauss", n, 2)
+	clf := benchClassifier(b, fmt.Sprintf("score/%d/%d", n, 2), data, nil)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := clf.Score(data[i%len(data)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
 // BenchmarkScoreTelemetry measures the recorder's hot-path cost: "off"
 // is the default no-op recorder (one atomic bool load per query, the
 // configuration BenchmarkScore runs under), "on" a live registry taking

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tkdc/internal/grid"
@@ -68,35 +69,62 @@ type Counters struct {
 // Kernels returns total kernel evaluations, point and bound combined.
 func (c Counters) Kernels() int64 { return c.PointKernels + c.BoundKernels }
 
-// workCounters aggregates per-query work with snapshot coherence: each
-// query commits all of its counters in one critical section, and Stats
-// copies them in one, so a reader can never observe a query counted
-// without its work (or torn totals). One uncontended lock per query
-// costs about the same as the handful of per-field atomic adds it
-// replaces; batch paths (dual-tree) commit once per batch.
-type workCounters struct {
+// counterShards spreads commit traffic across this many locks; a power
+// of two so the ticket counter selects a shard with a mask.
+const counterShards = 16
+
+// counterShard pads each mutex+totals pair past a cache line so
+// neighboring shards don't false-share.
+type counterShard struct {
 	mu sync.Mutex
 	c  Counters
+	_  [64]byte
+}
+
+// workCounters aggregates per-query work with snapshot coherence: each
+// query commits all of its counters inside one shard's critical
+// section, so a reader can never observe a query counted without its
+// work (or torn totals). Commits are spread round-robin over sharded
+// locks by a wait-free ticket counter, so many concurrent Classify
+// callers on many cores contend on a single atomic add rather than
+// serializing through one process-wide mutex; batch paths (dual-tree)
+// commit once per batch.
+type workCounters struct {
+	seq    atomic.Uint32
+	shards [counterShards]counterShard
 }
 
 // add commits one or more queries' worth of counters atomically with
 // respect to snapshot.
 func (w *workCounters) add(queries, gridHits int64, qs QueryStats) {
-	w.mu.Lock()
-	w.c.Queries += queries
-	w.c.GridHits += gridHits
-	w.c.PointKernels += qs.PointKernels
-	w.c.BoundKernels += qs.BoundKernels
-	w.c.NodesVisited += qs.NodesVisited
-	w.mu.Unlock()
+	s := &w.shards[w.seq.Add(1)&(counterShards-1)]
+	s.mu.Lock()
+	s.c.Queries += queries
+	s.c.GridHits += gridHits
+	s.c.PointKernels += qs.PointKernels
+	s.c.BoundKernels += qs.BoundKernels
+	s.c.NodesVisited += qs.NodesVisited
+	s.mu.Unlock()
 }
 
-// snapshot returns a coherent copy of the totals.
+// snapshot sums the shards, locking each in turn. Because every query
+// commits whole within one shard, the sum never tears an individual
+// query; queries committing concurrently in other shards may or may
+// not be included, the same guarantee the single-lock version gave.
 func (w *workCounters) snapshot() Counters {
-	w.mu.Lock()
-	c := w.c
-	w.mu.Unlock()
-	return c
+	var total Counters
+	for i := range w.shards {
+		s := &w.shards[i]
+		s.mu.Lock()
+		c := s.c
+		s.mu.Unlock()
+		total.Queries += c.Queries
+		total.GridHits += c.GridHits
+		total.PointKernels += c.PointKernels
+		total.BoundKernels += c.BoundKernels
+		total.NodesVisited += c.NodesVisited
+	}
+	return total
 }
 
 // TrainStats describes the training phase.

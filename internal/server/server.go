@@ -8,6 +8,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"io"
@@ -238,6 +239,9 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 // like it, CSV rows otherwise.
 func parsePoints(contentType string, body []byte) ([][]float64, error) {
 	trimmed := bytes.TrimSpace(body)
+	if len(trimmed) == 0 {
+		return nil, errors.New("empty request body")
+	}
 	isJSON := strings.Contains(contentType, "json") ||
 		(len(trimmed) > 0 && (trimmed[0] == '{' || trimmed[0] == '['))
 	if isJSON {
@@ -319,10 +323,19 @@ func (s *Server) expvarSnapshot() map[string]any {
 	}
 }
 
+// writeJSON encodes v to a buffer before touching the ResponseWriter so
+// an encode failure surfaces as a 500 instead of a truncated 200.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, `{"error":%q}`, "encode response: "+err.Error())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	w.Write(buf.Bytes())
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {

@@ -163,6 +163,18 @@ func TestClassifyErrors(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("malformed-JSON status = %d, want 400: %v", resp.StatusCode, out)
 	}
+
+	// Empty and whitespace-only bodies with a JSON content type must
+	// come back 400, not panic on trimmed[0] (regression).
+	for _, body := range []string{"", "   \n\t "} {
+		resp, out = postJSON(t, ts.URL+"/classify", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("empty JSON body %q status = %d, want 400: %v", body, resp.StatusCode, out)
+		}
+		if _, ok := out["error"]; !ok {
+			t.Fatalf("empty JSON body %q: error response has no error field", body)
+		}
+	}
 }
 
 func TestClassifyBodyTooLarge(t *testing.T) {
