@@ -10,13 +10,21 @@
 //	tkdc -load model.tkdc -query probes.csv   # serve queries, no retraining
 //	tkdc -train data.csv -stats               # post-run telemetry summary
 //	tkdc -train data.csv -serve :8080         # HTTP serving mode
+//	tkdc -train data.csv -serve :8080 -stream -retrain-every 10000
+//	                                          # streaming ingest + retrains
 //
 // Output is CSV: label[,lower,upper] per query row, preceded by a summary
 // of the trained model on stderr. With -stats, a telemetry report (train
 // phase spans, query latency percentiles, kernels per query) follows on
 // stderr. With -serve, no batch classification happens; instead the
 // process serves POST /classify (CSV or JSON rows) plus /metrics,
-// /healthz, and /debug/pprof/* until interrupted.
+// /healthz, and /debug/pprof/* until interrupted. Adding -stream also
+// accepts POST /ingest into a bounded sample and retrains in the
+// background (-retrain-every rows, -max-model-age, -drift-tolerance),
+// hot-swapping the model without interrupting queries; -window trades
+// the uniform reservoir for a sliding window over the newest -sample
+// rows, and -save doubles as the path for atomic model snapshots after
+// each swap.
 package main
 
 import (
@@ -55,6 +63,13 @@ func main() {
 		density   = flag.Bool("density", false, "print density bounds alongside labels")
 		stats     = flag.Bool("stats", false, "print a post-run telemetry summary to stderr")
 		serve     = flag.String("serve", "", "serve HTTP on this address (e.g. :8080) instead of batch-classifying")
+
+		streamMode   = flag.Bool("stream", false, "with -serve: accept POST /ingest and retrain in the background")
+		retrainEvery = flag.Int64("retrain-every", 0, "with -stream: retrain after this many newly ingested rows (0 disables)")
+		maxModelAge  = flag.Duration("max-model-age", 0, "with -stream: retrain when the model is older than this and new rows arrived (0 disables)")
+		driftTol     = flag.Float64("drift-tolerance", 0, "with -stream: retrain when a threshold probe drifts past this relative fraction (0 disables)")
+		window       = flag.Bool("window", false, "with -stream: keep a sliding window of the newest -sample rows instead of a uniform reservoir")
+		sampleCap    = flag.Int("sample", 100_000, "with -stream: bounded in-memory sample capacity in rows")
 	)
 	flag.Parse()
 	if (*trainPath == "") == (*loadPath == "") {
@@ -131,7 +146,31 @@ func main() {
 	}
 
 	if *serve != "" {
-		runServer(clf, reg, *serve)
+		var svc *tkdc.StreamService
+		if *streamMode {
+			var err error
+			svc, err = tkdc.NewStreamService(clf, tkdc.StreamConfig{
+				Capacity:       *sampleCap,
+				Window:         *window,
+				Seed:           *seed,
+				RetrainEvery:   *retrainEvery,
+				MaxModelAge:    *maxModelAge,
+				DriftTolerance: *driftTol,
+				SnapshotPath:   *savePath,
+				Prefill:        true,
+				Recorder:       reg,
+			})
+			if err != nil {
+				fail(err)
+			}
+			svc.Start()
+		}
+		runServer(clf, reg, *serve, svc)
+		if svc != nil {
+			if err := svc.Close(); err != nil {
+				fail(err)
+			}
+		}
 		return
 	}
 
@@ -167,11 +206,12 @@ func main() {
 }
 
 // runServer blocks serving HTTP until SIGINT/SIGTERM, then shuts down
-// gracefully.
-func runServer(clf *tkdc.Classifier, reg *telemetry.Registry, addr string) {
+// gracefully. With a non-nil streaming service, the handlers serve its
+// live model and accept ingest; the caller owns the service lifecycle.
+func runServer(clf *tkdc.Classifier, reg *telemetry.Registry, addr string, svc *tkdc.StreamService) {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	handler := server.New(clf, server.Options{Registry: reg, Logger: logger})
-	srv := &http.Server{Addr: addr, Handler: handler}
+	handler := server.New(clf, server.Options{Registry: reg, Logger: logger, Stream: svc})
+	srv := newHTTPServer(addr, handler)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -187,11 +227,27 @@ func runServer(clf *tkdc.Classifier, reg *telemetry.Registry, addr string) {
 		slog.Int("n", clf.N()),
 		slog.Int("dim", clf.Dim()),
 		slog.Float64("threshold", clf.Threshold()),
+		slog.Bool("stream", svc != nil),
 	)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fail(err)
 	}
 	logger.Info("shut down")
+}
+
+// newHTTPServer wraps the handler in an http.Server with serving
+// timeouts: a header deadline against slowloris clients, a bound on
+// reading request bodies, and keep-alive reaping. WriteTimeout stays
+// zero because /debug/pprof/profile and /debug/pprof/trace stream their
+// responses for a caller-chosen duration.
+func newHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 }
 
 // indent prefixes every line for the stderr telemetry block.

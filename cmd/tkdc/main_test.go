@@ -1,0 +1,29 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestHTTPServerTimeouts pins the serving-mode hardening: every tkdc
+// server must carry header/read/idle deadlines so a slow or stalled
+// client cannot pin a connection forever, while WriteTimeout stays zero
+// so the streaming pprof endpoints (profile, trace) are not cut off.
+func TestHTTPServerTimeouts(t *testing.T) {
+	srv := newHTTPServer(":0", http.NewServeMux())
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Fatal("ReadHeaderTimeout unset: slowloris protection missing")
+	}
+	if srv.ReadTimeout <= 0 {
+		t.Fatal("ReadTimeout unset: a stalled body upload pins a connection")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Fatal("IdleTimeout unset: idle keep-alive connections never reaped")
+	}
+	if srv.WriteTimeout != 0 {
+		t.Fatal("WriteTimeout set: it would cut off streaming pprof profiles")
+	}
+	if srv.Addr != ":0" || srv.Handler == nil {
+		t.Fatal("newHTTPServer dropped the address or handler")
+	}
+}

@@ -25,6 +25,7 @@ func TestAllFigureRunnersTinyScale(t *testing.T) {
 		{"fig11", Figure11, 6},
 		{"fig13", Figure13, 7},
 		{"fig15", Figure15, 7},
+		{"stream", StreamLifecycle, 3},
 	}
 	for _, c := range cases {
 		c := c

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"tkdc/internal/core"
+	"tkdc/internal/dataset"
+	"tkdc/internal/stream"
+)
+
+// StreamLifecycle measures what the streaming subsystem promises: query
+// latency through the hot-swap Model handle stays flat while ingest
+// batches land and background retrains swap generations underneath the
+// readers. It runs the same query workload in three regimes — the
+// classifier queried directly, the Model handle with no churn, and the
+// Model handle under concurrent ingest + continuous retrains — so both
+// the handle's overhead (one atomic pointer load) and the cost of churn
+// are visible side by side.
+func StreamLifecycle(opts Options) ([]Table, error) {
+	opts = opts.normalized()
+	n := opts.scaled(100_000, 2000)
+	data := dataset.Gauss(n, 2, opts.Seed)
+	queries := data
+	if len(queries) > opts.MaxQueries {
+		queries = queries[:opts.MaxQueries]
+	}
+
+	clf, err := core.Train(data, opts.config())
+	if err != nil {
+		return nil, err
+	}
+
+	t := Table{
+		Title:   "Streaming lifecycle: query latency under ingest + retrain churn",
+		Columns: []string{"Regime", "Queries", "p50 us", "p99 us", "Queries/s", "Retrains"},
+	}
+
+	// Regime 1: the classifier queried directly — the floor.
+	direct, err := measureLatency(queries, func(q []float64) error {
+		_, err := clf.Score(q)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("direct", fmtCount(float64(len(queries))),
+		fmtMicros(direct.p50), fmtMicros(direct.p99), fmtRate(direct.qps), "-")
+
+	// Regime 2: through the Model handle, nothing churning.
+	model := stream.NewModel(clf)
+	quiet, err := measureLatency(queries, func(q []float64) error {
+		_, err := model.Score(q)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("handle/quiet", fmtCount(float64(len(queries))),
+		fmtMicros(quiet.p50), fmtMicros(quiet.p99), fmtRate(quiet.qps), "-")
+
+	// Regime 3: the full lifecycle — one goroutine feeds drifting batches,
+	// another forces back-to-back retrains, and the measured reader
+	// queries through the service's live handle the whole time.
+	svc, err := stream.NewService(clf, stream.Config{
+		Capacity: n,
+		Seed:     opts.Seed,
+		Prefill:  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Close()
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(2)
+	go func() { // drifting ingest
+		defer churn.Done()
+		drift := dataset.Gauss(2048, 2, opts.Seed+1)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			batch := make([][]float64, 64)
+			for j := range batch {
+				row := drift[(i*64+j)%len(drift)]
+				batch[j] = []float64{row[0] + float64(i)*0.01, row[1]}
+			}
+			if _, err := svc.Ingest(batch); err != nil {
+				return
+			}
+		}
+	}()
+	go func() { // continuous retrains
+		defer churn.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := svc.Retrain(); err != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	// At small scales the whole query pass can finish before the first
+	// background retrain lands; force one so the churn row always reflects
+	// at least one generation swap.
+	if err := svc.Retrain(); err != nil {
+		return nil, err
+	}
+
+	live := svc.Model()
+	churned, err := measureLatency(queries, func(q []float64) error {
+		_, err := live.Score(q)
+		return err
+	})
+	close(stop)
+	churn.Wait()
+	if err != nil {
+		return nil, err
+	}
+	st := svc.Stats()
+	t.AddRow("handle/churn", fmtCount(float64(len(queries))),
+		fmtMicros(churned.p50), fmtMicros(churned.p99), fmtRate(churned.qps),
+		fmtCount(float64(st.Retrains)))
+	t.Notes = append(t.Notes,
+		"churn regime: 64-row drifting batches ingested and retrains forced back-to-back while the reader queries",
+		"handle regimes read through one atomic pointer load; a swap mid-run changes the answers, never the latency")
+
+	t.Fprint(opts.Out)
+	return []Table{t}, nil
+}
+
+// latencyStats summarizes one measured query pass.
+type latencyStats struct {
+	p50, p99 float64 // seconds
+	qps      float64
+}
+
+// measureLatency times score one query at a time, returning latency
+// quantiles and throughput.
+func measureLatency(queries [][]float64, score func([]float64) error) (latencyStats, error) {
+	lat := make([]float64, len(queries))
+	start := time.Now()
+	for i, q := range queries {
+		qs := time.Now()
+		if err := score(q); err != nil {
+			return latencyStats{}, err
+		}
+		lat[i] = time.Since(qs).Seconds()
+	}
+	total := time.Since(start).Seconds()
+	sort.Float64s(lat)
+	return latencyStats{
+		p50: lat[len(lat)/2],
+		p99: lat[len(lat)*99/100],
+		qps: float64(len(lat)) / total,
+	}, nil
+}
+
+// fmtMicros renders a latency in microseconds.
+func fmtMicros(seconds float64) string {
+	return fmtRate(seconds * 1e6)
+}

@@ -582,6 +582,17 @@ func (c *Classifier) Bandwidths() []float64 { return c.kern.Bandwidths() }
 // Dim returns the data dimensionality.
 func (c *Classifier) Dim() int { return c.dim }
 
+// Config returns the configuration the classifier was trained (or
+// loaded) with, defaults filled in. The streaming lifecycle uses it to
+// rebuild models with identical parameters.
+func (c *Classifier) Config() Config { return c.cfg }
+
+// TrainingData returns the classifier's flat training storage. The store
+// is shared, not copied — callers must treat it as read-only (the k-d
+// tree and grid index into it). The streaming lifecycle reads it to seed
+// a reservoir with the rows the initial model was trained on.
+func (c *Classifier) TrainingData() *points.Store { return c.data }
+
 // N returns the training set size.
 func (c *Classifier) N() int { return c.data.Len() }
 

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 
 	"tkdc/internal/points"
 )
@@ -58,6 +60,47 @@ func (c *Classifier) Save(w io.Writer) error {
 	}
 	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
 		return fmt.Errorf("core: save model: %w", err)
+	}
+	return nil
+}
+
+// SaveFile atomically persists the classifier to path: the snapshot is
+// written to path+".tmp", fsynced, renamed over path, and the containing
+// directory fsynced, so a crash mid-save can never leave a truncated or
+// half-written model file where a good one used to be. This is the
+// helper behind the CLI's -save and the streaming lifecycle's per-swap
+// snapshots; concurrent SaveFile calls on the same path are not safe
+// (they share the temp name).
+func (c *Classifier) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("core: save model: %w", err)
+	}
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := c.Save(f); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("core: save model: sync: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: save model: close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: save model: %w", err)
+	}
+	// Fsync the directory so the rename itself survives a crash. Best
+	// effort: some filesystems reject directory syncs.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
 	}
 	return nil
 }

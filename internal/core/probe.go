@@ -1,0 +1,87 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"tkdc/internal/kernel"
+	"tkdc/internal/points"
+	"tkdc/internal/stats"
+)
+
+// ProbeThreshold cheaply re-estimates the classification threshold t(p)
+// over data without training a classifier: it draws refRows reference
+// rows and probes held-out probe rows (disjointly and seeded, so the
+// probe is deterministic for a fixed seed), evaluates each probe's exact
+// density under the reference mini-KDE with Scott's-rule bandwidths, and
+// returns the p-quantile. Holding the probe rows out of the reference
+// set plays the role of the self-contribution correction of Section 2.3:
+// no probe contributes density to itself.
+//
+// The estimate is a rough, biased stand-in for the trained threshold
+// (small-sample bandwidths differ from full-dataset ones), so it is
+// meant for relative comparisons — detecting that the distribution under
+// a live model has drifted — not as a serving threshold. Cost is
+// O(refRows · probes) kernel evaluations, independent of data.Len().
+func ProbeThreshold(data *points.Store, cfg Config, refRows, probes int, seed int64) (float64, error) {
+	cfg = cfg.normalized()
+	if err := cfg.validate(); err != nil {
+		return 0, err
+	}
+	n := data.Len()
+	if n < 3 {
+		return 0, errors.New("core: probe needs at least 3 rows")
+	}
+	if refRows < 2 {
+		refRows = 2
+	}
+	if probes < 1 {
+		probes = 1
+	}
+	if refRows+probes > n {
+		// Shrink to fit, preserving the reference:probe ratio but keeping
+		// both ends usable.
+		refRows = n * refRows / (refRows + probes)
+		if refRows < 2 {
+			refRows = 2
+		}
+		probes = n - refRows
+	}
+
+	// One partial Fisher–Yates draw of refRows+probes distinct rows; the
+	// first refRows become the mini-KDE, the rest the held-out probes.
+	rng := rand.New(rand.NewSource(seed))
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	total := refRows + probes
+	ref := points.New(refRows, data.Dim)
+	held := points.New(probes, data.Dim)
+	for i := 0; i < total; i++ {
+		j := i + rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		if i < refRows {
+			copy(ref.Row(i), data.Row(idx[i]))
+		} else {
+			copy(held.Row(i-refRows), data.Row(idx[i]))
+		}
+	}
+
+	h, err := kernel.ScottBandwidths(ref, cfg.BandwidthFactor)
+	if err != nil {
+		return 0, fmt.Errorf("core: probe bandwidth: %w", err)
+	}
+	kern, err := newKernel(cfg.Kernel, h)
+	if err != nil {
+		return 0, err
+	}
+	densities := make([]float64, probes)
+	for i := range densities {
+		densities[i] = kernel.Sum(kern, held.Row(i), ref.Data) / float64(refRows)
+	}
+	sort.Float64s(densities)
+	return stats.SortedQuantile(densities, cfg.P)
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tkdc/internal/points"
+)
+
+// TestProbeThreshold checks the cheap drift probe is deterministic and
+// lands in the neighborhood of the trained threshold — close enough that
+// a relative-drift comparison against it is meaningful.
+func TestProbeThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	data := make([][]float64, 2000)
+	for i := range data {
+		data[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	cfg := DefaultConfig()
+	cfg.S0 = 2000
+	clf, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := points.FromRows(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p1, err := ProbeThreshold(store, cfg, 512, 256, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ProbeThreshold(store, cfg, 512, 256, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatalf("probe not deterministic: %v vs %v", p1, p2)
+	}
+	trained := clf.Threshold()
+	if p1 <= 0 || p1 < trained/5 || p1 > trained*5 {
+		t.Fatalf("probe %v too far from trained threshold %v", p1, trained)
+	}
+
+	if _, err := ProbeThreshold(points.New(0, 2), cfg, 10, 10, 1); err == nil {
+		t.Fatal("probe over empty store succeeded")
+	}
+}

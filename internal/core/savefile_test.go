@@ -1,0 +1,53 @@
+package core
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSaveFileAtomic covers the crash-safe persistence helper: the model
+// lands complete and loadable, the temp file is gone, and overwriting an
+// existing model never passes through a truncated state (the rename is
+// the commit point).
+func TestSaveFileAtomic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([][]float64, 400)
+	for i := range data {
+		data[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	cfg := DefaultConfig()
+	cfg.S0 = 2000
+	clf, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "model.tkdc")
+	for round := 0; round < 2; round++ { // second round overwrites
+		if err := clf.SaveFile(path); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+			t.Fatalf("round %d: temp file left behind: %v", round, err)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("round %d: load: %v", round, err)
+		}
+		if loaded.Threshold() != clf.Threshold() || loaded.N() != clf.N() {
+			t.Fatalf("round %d: loaded model differs: t=%v n=%d, want t=%v n=%d",
+				round, loaded.Threshold(), loaded.N(), clf.Threshold(), clf.N())
+		}
+	}
+
+	if err := clf.SaveFile(filepath.Join(t.TempDir(), "missing", "model.tkdc")); err == nil {
+		t.Fatal("SaveFile into a missing directory succeeded")
+	}
+}

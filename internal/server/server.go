@@ -3,6 +3,13 @@
 // observability surface — /metrics (plain-text exposition of the
 // telemetry registry and model gauges), /healthz, expvar at /debug/vars,
 // and the net/http/pprof profiling handlers at /debug/pprof/*.
+//
+// Every request reads the model through a stream.Model handle — one
+// atomic pointer load — so the same handlers serve a static classifier
+// and a live, continuously retrained one. With Options.Stream set, the
+// server additionally accepts POST /ingest (CSV or JSON rows into the
+// bounded sample, same parser and limits as /classify) and reports the
+// lifecycle on GET /model and the /metrics stream gauges.
 package server
 
 import (
@@ -24,6 +31,7 @@ import (
 
 	"tkdc/internal/core"
 	"tkdc/internal/dataset"
+	"tkdc/internal/stream"
 	"tkdc/internal/telemetry"
 )
 
@@ -43,20 +51,28 @@ type Options struct {
 	// MaxBodyBytes caps classify request bodies (DefaultMaxBodyBytes
 	// if 0).
 	MaxBodyBytes int64
+	// Stream, when non-nil, serves that streaming lifecycle: queries go
+	// through its live Model handle (the initial classifier passed to New
+	// is ignored), POST /ingest feeds its sample, and GET /model +
+	// /metrics expose generation/age/ingest state. The caller owns the
+	// service lifecycle (Start/Close).
+	Stream *stream.Service
 }
 
 // Server serves classification and observability endpoints over one
 // trained classifier. It implements http.Handler; every request passes
 // through the structured-logging middleware.
 type Server struct {
-	clf *core.Classifier
-	reg *telemetry.Registry
-	log *slog.Logger
-	max int64
-	mux *http.ServeMux
+	model *stream.Model   // zero-downtime read handle; never nil
+	svc   *stream.Service // nil when serving a static model
+	reg   *telemetry.Registry
+	log   *slog.Logger
+	max   int64
+	mux   *http.ServeMux
 
 	started  time.Time
 	requests atomic.Int64
+	ingested atomic.Int64 // rows accepted via /ingest on this server
 }
 
 // current is the server behind the process-wide expvar publication;
@@ -68,15 +84,22 @@ var (
 	expvarOnce sync.Once
 )
 
-// New builds a Server over a trained classifier.
+// New builds a Server over a trained classifier, wrapped in a
+// generation-1 Model handle. With opts.Stream set, the server serves
+// that lifecycle's live handle instead and clf may be nil.
 func New(clf *core.Classifier, opts Options) *Server {
 	s := &Server{
-		clf:     clf,
+		svc:     opts.Stream,
 		reg:     opts.Registry,
 		log:     opts.Logger,
 		max:     opts.MaxBodyBytes,
 		mux:     http.NewServeMux(),
 		started: time.Now(),
+	}
+	if s.svc != nil {
+		s.model = s.svc.Model()
+	} else {
+		s.model = stream.NewModel(clf)
 	}
 	if s.reg == nil {
 		s.reg = telemetry.Default
@@ -87,6 +110,8 @@ func New(clf *core.Classifier, opts Options) *Server {
 
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/classify", s.handleClassify)
+	s.mux.HandleFunc("/ingest", s.handleIngest)
+	s.mux.HandleFunc("/model", s.handleModel)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.Handle("/debug/vars", expvar.Handler())
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -156,11 +181,13 @@ func (w *statusWriter) Flush() {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	clf, gen, _ := s.model.View()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
-		"n":              s.clf.N(),
-		"dim":            s.clf.Dim(),
-		"threshold":      s.clf.Threshold(),
+		"n":              clf.N(),
+		"dim":            clf.Dim(),
+		"threshold":      clf.Threshold(),
+		"generation":     gen,
 		"uptime_seconds": time.Since(s.started).Seconds(),
 	})
 }
@@ -179,35 +206,49 @@ type classifyResult struct {
 	Estimate float64 `json:"estimate"`
 }
 
+// readRows reads and parses a CSV/JSON row body, writing the error
+// response (413 oversized, 400 malformed or empty) itself. The nil, false
+// return means the response is already written.
+func (s *Server) readRows(w http.ResponseWriter, r *http.Request) ([][]float64, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.max+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return nil, false
+	}
+	if int64(len(body)) > s.max {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", s.max))
+		return nil, false
+	}
+	points, err := parsePoints(r.Header.Get("Content-Type"), body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return nil, false
+	}
+	if len(points) == 0 {
+		writeError(w, http.StatusBadRequest, "no rows in body")
+		return nil, false
+	}
+	return points, true
+}
+
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, http.StatusMethodNotAllowed, "POST a CSV or JSON body of query rows")
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, s.max+1))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+	points, ok := s.readRows(w, r)
+	if !ok {
 		return
 	}
-	if int64(len(body)) > s.max {
-		writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", s.max))
-		return
-	}
-	points, err := parsePoints(r.Header.Get("Content-Type"), body)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	if len(points) == 0 {
-		writeError(w, http.StatusBadRequest, "no query rows in body")
-		return
-	}
+	// One coherent generation serves the whole request, even if a retrain
+	// swaps mid-flight.
+	clf := s.model.Current()
 
 	if wantDensity(r) {
 		results := make([]classifyResult, len(points))
 		for i, x := range points {
-			res, err := s.clf.Score(x)
+			res, err := clf.Score(x)
 			if err != nil {
 				writeError(w, http.StatusBadRequest, fmt.Sprintf("row %d: %v", i, err))
 				return
@@ -222,7 +263,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	labels, err := s.clf.ClassifyAll(points)
+	labels, err := clf.ClassifyAll(points)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -265,6 +306,72 @@ func parsePoints(contentType string, body []byte) ([][]float64, error) {
 	return rows, nil
 }
 
+// handleIngest feeds a batch of rows into the streaming sample. It
+// mirrors /classify's request semantics exactly: CSV or JSON body, 413
+// past the body cap, 400 on malformed or empty rows (a bad row rejects
+// the whole batch). Returns 409 when the server is not in streaming
+// mode.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.svc == nil {
+		writeError(w, http.StatusConflict, "streaming disabled: start the server with -stream to accept ingest")
+		return
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST a CSV or JSON body of data rows")
+		return
+	}
+	points, ok := s.readRows(w, r)
+	if !ok {
+		return
+	}
+	accepted, err := s.svc.Ingest(points)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.ingested.Add(int64(accepted))
+	st := s.svc.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"accepted":       accepted,
+		"ingested_total": st.Ingested,
+		"sample_size":    st.SampleSize,
+		"generation":     st.Generation,
+	})
+}
+
+// handleModel reports the live model and, in streaming mode, the
+// lifecycle around it.
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET the live model descriptor")
+		return
+	}
+	clf, gen, born := s.model.View()
+	resp := map[string]any{
+		"generation":  gen,
+		"age_seconds": time.Since(born).Seconds(),
+		"n":           clf.N(),
+		"dim":         clf.Dim(),
+		"threshold":   clf.Threshold(),
+		"bandwidths":  clf.Bandwidths(),
+		"streaming":   s.svc != nil,
+	}
+	if s.svc != nil {
+		st := s.svc.Stats()
+		resp["ingested_total"] = st.Ingested
+		resp["sample_size"] = st.SampleSize
+		resp["sample_capacity"] = st.Capacity
+		resp["window"] = st.Window
+		resp["retrains"] = st.Retrains
+		if st.LastError != "" {
+			resp["last_error"] = st.LastError
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // wantDensity reports whether the request asked for density bounds
 // alongside labels (?density=1).
 func wantDensity(r *http.Request) bool {
@@ -277,18 +384,21 @@ func wantDensity(r *http.Request) bool {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.reg.Snapshot()
-	ts := s.clf.TrainStats()
-	tree := s.clf.TreeStats()
-	gridHits, gridMisses := s.clf.GridCounters()
+	clf, gen, born := s.model.View()
+	ts := clf.TrainStats()
+	tree := clf.TreeStats()
+	gridHits, gridMisses := clf.GridCounters()
 
 	var b strings.Builder
 	snap.WriteMetrics(&b)
 	writeGauge := func(name string, v any) {
 		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %v\n", name, name, v)
 	}
-	writeGauge("tkdc_model_points", s.clf.N())
-	writeGauge("tkdc_model_dim", s.clf.Dim())
-	writeGauge("tkdc_model_threshold", s.clf.Threshold())
+	writeGauge("tkdc_model_points", clf.N())
+	writeGauge("tkdc_model_dim", clf.Dim())
+	writeGauge("tkdc_model_threshold", clf.Threshold())
+	writeGauge("tkdc_model_generation", gen)
+	writeGauge("tkdc_model_age_seconds", time.Since(born).Seconds())
 	writeGauge("tkdc_train_kernels_total", ts.TrainKernels)
 	writeGauge("tkdc_train_bootstrap_rounds", ts.BootstrapRounds)
 	writeGauge("tkdc_tree_nodes", tree.Nodes)
@@ -298,6 +408,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# TYPE tkdc_grid_cache_hits_total counter\ntkdc_grid_cache_hits_total %d\n", gridHits)
 	fmt.Fprintf(&b, "# TYPE tkdc_grid_cache_misses_total counter\ntkdc_grid_cache_misses_total %d\n", gridMisses)
 	fmt.Fprintf(&b, "# TYPE tkdc_http_requests_total counter\ntkdc_http_requests_total %d\n", s.requests.Load())
+	if s.svc != nil {
+		st := s.svc.Stats()
+		fmt.Fprintf(&b, "# TYPE tkdc_stream_ingested_total counter\ntkdc_stream_ingested_total %d\n", st.Ingested)
+		fmt.Fprintf(&b, "# TYPE tkdc_stream_retrains_total counter\ntkdc_stream_retrains_total %d\n", st.Retrains)
+		writeGauge("tkdc_stream_sample_size", st.SampleSize)
+		writeGauge("tkdc_stream_sample_capacity", st.Capacity)
+	}
 	writeGauge("go_goroutines", runtime.NumGoroutine())
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -308,19 +425,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // expvar key.
 func (s *Server) expvarSnapshot() map[string]any {
 	snap := s.reg.Snapshot()
-	return map[string]any{
+	clf, gen, _ := s.model.View()
+	out := map[string]any{
 		"queries":        snap.Queries,
 		"grid_hits":      snap.GridHits,
 		"grid_misses":    snap.GridMisses,
 		"latency_ns_sum": snap.LatencyNS.Sum,
 		"kernels_sum":    snap.Kernels.Sum,
 		"model": map[string]any{
-			"n":         s.clf.N(),
-			"dim":       s.clf.Dim(),
-			"threshold": s.clf.Threshold(),
+			"n":          clf.N(),
+			"dim":        clf.Dim(),
+			"threshold":  clf.Threshold(),
+			"generation": gen,
 		},
 		"http_requests": s.requests.Load(),
 	}
+	if s.svc != nil {
+		st := s.svc.Stats()
+		out["stream"] = map[string]any{
+			"ingested":    st.Ingested,
+			"sample_size": st.SampleSize,
+			"retrains":    st.Retrains,
+		}
+	}
+	return out
 }
 
 // writeJSON encodes v to a buffer before touching the ResponseWriter so

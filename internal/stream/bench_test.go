@@ -1,0 +1,91 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"tkdc/internal/core"
+)
+
+func benchClassifier(b *testing.B) (*core.Classifier, [][]float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]float64, 20000)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed = 1
+	clf, err := core.Train(rows, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return clf, rows
+}
+
+// BenchmarkScoreDirect is the reference: queries straight at the
+// classifier, no handle.
+func BenchmarkScoreDirect(b *testing.B) {
+	clf, rows := benchClassifier(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := clf.Score(rows[i%len(rows)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScoreModel measures the same queries through the live Model
+// handle — the acceptance criterion is that the one extra atomic load is
+// within noise of BenchmarkScoreDirect.
+func BenchmarkScoreModel(b *testing.B) {
+	clf, rows := benchClassifier(b)
+	model := NewModel(clf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Score(rows[i%len(rows)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScoreModelParallel checks the handle does not serialize
+// concurrent readers.
+func BenchmarkScoreModelParallel(b *testing.B) {
+	clf, rows := benchClassifier(b)
+	model := NewModel(clf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := model.Score(rows[i%len(rows)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkIngest measures reservoir ingestion throughput in rows/op
+// (batches of 100).
+func BenchmarkIngest(b *testing.B) {
+	ing, err := NewIngestor(100_000, 2, 1, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	batch := make([][]float64, 100)
+	for i := range batch {
+		batch[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ing.Add(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

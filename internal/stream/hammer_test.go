@@ -1,0 +1,162 @@
+package stream
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHotSwapHammer is the zero-downtime acceptance check: readers call
+// Classify/Score/DensityBounds in tight loops while generations swap
+// underneath them. Run under -race it also proves the handle publishes
+// safely. Each reader asserts generation numbers are monotone and every
+// View is internally coherent (classifier paired with its own
+// generation's threshold).
+func TestHotSwapHammer(t *testing.T) {
+	clfA := trainSmall(t, gauss2D(400, 1, 1))
+	clfB := trainSmall(t, gauss2D(400, 2, 1.5))
+	model := NewModel(clfA)
+
+	probes := gauss2D(32, 3, 2)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	fail := func(msg string) {
+		select {
+		case errs <- msg:
+		default:
+		}
+	}
+
+	const readers = 8
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var lastGen uint64
+			for i := 0; !stop.Load(); i++ {
+				q := probes[(r+i)%len(probes)]
+				switch i % 3 {
+				case 0:
+					if _, err := model.Classify(q); err != nil {
+						fail("Classify: " + err.Error())
+						return
+					}
+				case 1:
+					res, err := model.Score(q)
+					if err != nil {
+						fail("Score: " + err.Error())
+						return
+					}
+					if res.Lower > res.Upper {
+						fail("torn score: lower > upper")
+						return
+					}
+				case 2:
+					if _, _, err := model.DensityBounds(q, 0.1); err != nil {
+						fail("DensityBounds: " + err.Error())
+						return
+					}
+				}
+				clf, gen, born := model.View()
+				if gen < lastGen {
+					fail("generation went backwards")
+					return
+				}
+				lastGen = gen
+				if clf == nil || born.IsZero() {
+					fail("torn view: nil classifier or zero birth time")
+					return
+				}
+			}
+		}(r)
+	}
+
+	// Writer: swap between two prebuilt classifiers as fast as possible.
+	const swaps = 2000
+	var lastPub uint64
+	for i := 0; i < swaps; i++ {
+		next := clfA
+		if i%2 == 0 {
+			next = clfB
+		}
+		gen := model.Publish(next)
+		if gen <= lastPub {
+			t.Fatalf("publish generation %d not monotone after %d", gen, lastPub)
+		}
+		lastPub = gen
+	}
+	time.Sleep(10 * time.Millisecond) // let readers overlap the final state
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+	if got := model.Generation(); got != swaps+1 {
+		t.Fatalf("final generation = %d, want %d", got, swaps+1)
+	}
+}
+
+// TestServiceHammer drives the whole lifecycle under -race: concurrent
+// ingest batches and queries while the background retrainer swaps real
+// retrained generations.
+func TestServiceHammer(t *testing.T) {
+	initial := trainSmall(t, gauss2D(400, 1, 1))
+	svc, err := NewService(initial, Config{
+		Capacity:      800,
+		Window:        true,
+		RetrainEvery:  150,
+		CheckInterval: time.Millisecond,
+		Train:         testConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	model := svc.Model()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			probes := gauss2D(16, int64(100+r), 2)
+			for i := 0; !stop.Load(); i++ {
+				if _, err := model.Score(probes[i%len(probes)]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	for b := 0; b < 12; b++ {
+		if _, err := svc.Ingest(gauss2D(100, int64(200+b), 1)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for model.Generation() < 3 {
+		if time.Now().After(deadline) {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("retrainer advanced only to generation %d: %+v", model.Generation(), svc.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.LastError != "" {
+		t.Fatalf("background retrains errored: %s", st.LastError)
+	}
+	if st.Generation < 3 || st.Retrains < 2 {
+		t.Fatalf("lifecycle stats = %+v, want ≥ 2 retrains", st)
+	}
+}

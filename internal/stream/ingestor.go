@@ -1,0 +1,254 @@
+// Package stream turns the batch-trained tKDC stack into a continuously
+// learning service. It has three pieces:
+//
+//   - Ingestor: accepts point batches and maintains a bounded-memory
+//     sample directly in flat row-major storage — a deterministic seeded
+//     reservoir (Vitter's Algorithm R) for stationary streams, or a
+//     sliding window for drifting ones. The paper's threshold bootstrap
+//     (§3.5) already derives t(p) from samples, which is what makes a
+//     maintained sample a principled substrate for retraining.
+//   - Model: an atomic generation-numbered handle over *core.Classifier;
+//     queries never block on a model swap (one atomic pointer load per
+//     query on the read side).
+//   - Service: the background retrainer. When a trigger fires (ingested
+//     row count, model age, or threshold drift against a cheap bootstrap
+//     probe) it rebuilds a classifier from the current sample off the hot
+//     path, publishes it through the Model, records the retrain as a
+//     telemetry phase span, and writes an atomic on-disk snapshot.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"tkdc/internal/points"
+)
+
+// Ingestor maintains a bounded-memory sample of an unbounded point
+// stream in flat row-major form. It is safe for concurrent use; Add
+// batches are applied atomically with respect to Snapshot.
+//
+// In reservoir mode (the default) the sample is a uniform random subset
+// of everything ever ingested, maintained with Vitter's Algorithm R over
+// a seeded generator — two ingestors fed the same batches with the same
+// seed hold bit-identical samples. While fewer rows than the capacity
+// have arrived, the sample is exactly the rows in arrival order, which
+// is what makes the batch-training determinism bridge exact.
+//
+// In window mode the sample is the most recent capacity rows, so old
+// data ages out and retrains track distribution drift.
+type Ingestor struct {
+	mu       sync.Mutex
+	window   bool
+	capacity int
+	dim      int // 0 until the first row fixes it
+	rng      *rand.Rand
+	buf      *points.Store // allocated once the dimensionality is known
+	n        int           // rows currently held (≤ capacity)
+	seen     int64         // rows ever ingested
+}
+
+// NewIngestor builds an ingestor holding at most capacity rows. dim
+// fixes the expected row width; 0 infers it from the first row. seed
+// drives reservoir eviction; window selects sliding-window mode (seed is
+// then unused).
+func NewIngestor(capacity, dim int, seed int64, window bool) (*Ingestor, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("stream: reservoir capacity %d must be at least 1", capacity)
+	}
+	if dim < 0 {
+		return nil, fmt.Errorf("stream: dimension %d must be non-negative", dim)
+	}
+	ing := &Ingestor{
+		window:   window,
+		capacity: capacity,
+		dim:      dim,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+	if dim > 0 {
+		ing.buf = points.New(capacity, dim)
+	}
+	return ing, nil
+}
+
+// Add ingests a batch of rows. The batch is validated in full first —
+// consistent dimensionality, finite coordinates — and rejected whole on
+// the first bad row, mirroring the /classify request semantics; nothing
+// is ingested on error. Returns the number of rows ingested.
+func (i *Ingestor) Add(rows [][]float64) (int, error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	dim := i.dim
+	for r, row := range rows {
+		if dim == 0 {
+			dim = len(row)
+		}
+		if err := checkRow(row, dim, r); err != nil {
+			return 0, err
+		}
+	}
+	if len(rows) == 0 {
+		return 0, nil
+	}
+	for _, row := range rows {
+		i.ingestRow(row)
+	}
+	return len(rows), nil
+}
+
+// AddFlat ingests rows already in flat row-major form: flat holds
+// len(flat)/dim rows of width dim. Validation and atomicity match Add.
+func (i *Ingestor) AddFlat(flat []float64, dim int) (int, error) {
+	if dim <= 0 {
+		return 0, fmt.Errorf("stream: dimension %d must be positive", dim)
+	}
+	if len(flat)%dim != 0 {
+		return 0, fmt.Errorf("stream: buffer length %d is not a multiple of dimension %d", len(flat), dim)
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	n := len(flat) / dim
+	for r := 0; r < n; r++ {
+		if err := checkRow(flat[r*dim:(r+1)*dim], i.dimOr(dim), r); err != nil {
+			return 0, err
+		}
+	}
+	for r := 0; r < n; r++ {
+		i.ingestRow(flat[r*dim : (r+1)*dim])
+	}
+	return n, nil
+}
+
+// dimOr returns the fixed dimensionality, or fallback before the first
+// row has fixed it. Callers hold i.mu.
+func (i *Ingestor) dimOr(fallback int) int {
+	if i.dim > 0 {
+		return i.dim
+	}
+	return fallback
+}
+
+func checkRow(row []float64, dim, idx int) error {
+	if len(row) == 0 {
+		return fmt.Errorf("stream: row %d is empty", idx)
+	}
+	if len(row) != dim {
+		return fmt.Errorf("stream: row %d has dimension %d, want %d", idx, len(row), dim)
+	}
+	for j, v := range row {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("stream: row %d coordinate %d is %v", idx, j, v)
+		}
+	}
+	return nil
+}
+
+// ingestRow applies one validated row. Callers hold i.mu.
+func (i *Ingestor) ingestRow(row []float64) {
+	if i.dim == 0 {
+		i.dim = len(row)
+		i.buf = points.New(i.capacity, i.dim)
+	}
+	i.seen++
+	if i.n < i.capacity {
+		copy(i.buf.Row(i.n), row)
+		i.n++
+		return
+	}
+	if i.window {
+		// Ring overwrite: the slot of the oldest row is (seen-1) mod cap
+		// once the buffer is full, because rows land in arrival order.
+		copy(i.buf.Row(int((i.seen-1)%int64(i.capacity))), row)
+		return
+	}
+	// Algorithm R: the new row replaces a uniformly random slot with
+	// probability capacity/seen.
+	if j := i.rng.Int63n(i.seen); j < int64(i.capacity) {
+		copy(i.buf.Row(int(j)), row)
+	}
+}
+
+// Snapshot copies the current sample into a fresh store — the input to a
+// retrain, safe to index and keep while ingestion continues — and
+// returns the total rows ingested at the moment of the copy. In window
+// mode rows are ordered oldest to newest; in reservoir mode, by slot. A
+// nil store is returned while the sample is empty.
+func (i *Ingestor) Snapshot() (*points.Store, int64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.n == 0 {
+		return nil, i.seen
+	}
+	out := points.New(i.n, i.dim)
+	if i.window && i.n == i.capacity {
+		head := int(i.seen % int64(i.capacity)) // slot of the oldest row
+		k := copy(out.Data, i.buf.Data[head*i.dim:])
+		copy(out.Data[k:], i.buf.Data[:head*i.dim])
+	} else {
+		copy(out.Data, i.buf.Data[:i.n*i.dim])
+	}
+	return out, i.seen
+}
+
+// Sample copies at most k uniformly drawn rows of the current sample
+// into a fresh store, using a private generator seeded with seed so the
+// draw is reproducible and does not perturb reservoir eviction. It is
+// the cheap input to the drift probe. Returns nil while empty.
+func (i *Ingestor) Sample(k int, seed int64) *points.Store {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.n == 0 || k < 1 {
+		return nil
+	}
+	if k >= i.n {
+		out := points.New(i.n, i.dim)
+		copy(out.Data, i.buf.Data[:i.n*i.dim])
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := make([]int, i.n)
+	for j := range idx {
+		idx[j] = j
+	}
+	out := points.New(k, i.dim)
+	for j := 0; j < k; j++ {
+		l := j + rng.Intn(i.n-j)
+		idx[j], idx[l] = idx[l], idx[j]
+		copy(out.Row(j), i.buf.Row(idx[j]))
+	}
+	return out
+}
+
+// Seen returns the total number of rows ever ingested.
+func (i *Ingestor) Seen() int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.seen
+}
+
+// Len returns the number of rows currently held (≤ Capacity).
+func (i *Ingestor) Len() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.n
+}
+
+// Dim returns the row width, or 0 before the first row arrives.
+func (i *Ingestor) Dim() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.dim
+}
+
+// Capacity returns the sample bound.
+func (i *Ingestor) Capacity() int { return i.capacity }
+
+// WindowMode reports whether the ingestor keeps a sliding window rather
+// than a reservoir.
+func (i *Ingestor) WindowMode() bool { return i.window }
+
+// errEmpty reports a retrain attempted before any rows arrived.
+var errEmpty = errors.New("stream: no ingested rows to retrain on")

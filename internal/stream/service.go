@@ -1,0 +1,340 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tkdc/internal/core"
+	"tkdc/internal/telemetry"
+)
+
+// Config tunes the streaming service. The zero value of every field is
+// usable: defaults are filled in by NewService.
+type Config struct {
+	// Capacity bounds the in-memory sample (default 100 000 rows).
+	Capacity int
+	// Window keeps a sliding window of the most recent Capacity rows
+	// instead of a uniform reservoir, so retrains track drift.
+	Window bool
+	// Seed drives reservoir eviction and the drift probe; ingestion and
+	// retraining are deterministic for a fixed seed and batch sequence.
+	Seed int64
+
+	// RetrainEvery retrains after this many newly ingested rows
+	// (0 disables the count trigger).
+	RetrainEvery int64
+	// MaxModelAge retrains when the live model is older than this and new
+	// rows have arrived since it was trained (0 disables the age trigger).
+	MaxModelAge time.Duration
+	// DriftTolerance retrains when a cheap bootstrap-style threshold
+	// probe over the current sample differs from the live threshold by
+	// more than this relative fraction (0 disables the drift trigger).
+	DriftTolerance float64
+	// ProbeRows and ProbeQueries size the drift probe's mini-KDE
+	// (defaults 512 reference rows, 256 probe queries).
+	ProbeRows    int
+	ProbeQueries int
+
+	// CheckInterval paces the background trigger checks (default 500ms).
+	CheckInterval time.Duration
+
+	// SnapshotPath, when non-empty, receives an atomic on-disk model
+	// snapshot (temp file + rename) after every swap and on Close.
+	SnapshotPath string
+
+	// Train configures retrains. The zero value inherits the initial
+	// classifier's configuration, which keeps retrained models directly
+	// comparable to the model they replace.
+	Train core.Config
+
+	// Prefill seeds the sample with the initial classifier's training
+	// rows, so the first retrain does not forget the batch-trained model.
+	// Leave false when the stream alone should define the sample (e.g.
+	// the determinism bridge: feed rows, retrain, compare to batch Train).
+	Prefill bool
+
+	// Recorder receives one telemetry span per retrain
+	// ("retrain/gen-N") and is attached to retrains' Train config. Nil
+	// inherits Train.Recorder (telemetry off if that is nil too).
+	Recorder telemetry.Recorder
+}
+
+// Stats is a coherent view of the streaming lifecycle.
+type Stats struct {
+	// Generation and ModelAge describe the live model.
+	Generation uint64
+	ModelAge   time.Duration
+	ModelN     int
+	Threshold  float64
+
+	// Ingested counts rows ever accepted; SampleSize is the bounded
+	// sample's current occupancy; Pending counts rows ingested since the
+	// live sample was last trained on.
+	Ingested   int64
+	SampleSize int
+	Capacity   int
+	Window     bool
+
+	// Retrains counts completed retrains (publishes); LastError is the
+	// most recent background retrain or snapshot failure, "" when clean.
+	Retrains  int64
+	LastError string
+}
+
+// Service owns the streaming lifecycle: it accepts ingest batches,
+// watches retrain triggers from a background goroutine, and publishes
+// rebuilt classifiers through its Model handle. Construct with
+// NewService, begin background retraining with Start, and Close on
+// shutdown (idempotent; writes a final snapshot).
+type Service struct {
+	cfg      Config
+	trainCfg core.Config
+	ing      *Ingestor
+	model    *Model
+	rec      telemetry.Recorder
+
+	retrainMu   sync.Mutex // serializes retrains
+	lastTrained atomic.Int64
+	retrains    atomic.Int64
+	probeSeq    atomic.Int64
+
+	errMu   sync.Mutex
+	lastErr error
+
+	done     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewService wraps an initial trained classifier in a streaming
+// lifecycle. The classifier stays live until the first retrain swaps it
+// out; its configuration becomes the retrain configuration unless
+// cfg.Train overrides it.
+func NewService(initial *core.Classifier, cfg Config) (*Service, error) {
+	if initial == nil {
+		return nil, fmt.Errorf("stream: NewService requires an initial classifier")
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = 100_000
+	}
+	if cfg.CheckInterval <= 0 {
+		cfg.CheckInterval = 500 * time.Millisecond
+	}
+	if cfg.ProbeRows <= 0 {
+		cfg.ProbeRows = 512
+	}
+	if cfg.ProbeQueries <= 0 {
+		cfg.ProbeQueries = 256
+	}
+	if cfg.RetrainEvery < 0 || cfg.Capacity < 0 {
+		return nil, fmt.Errorf("stream: negative Capacity or RetrainEvery")
+	}
+	trainCfg := cfg.Train
+	if trainCfg.P == 0 {
+		// An unset Train config (P is required, so 0 means "not
+		// configured") inherits the initial classifier's parameters.
+		trainCfg = initial.Config()
+	}
+	if cfg.Recorder != nil {
+		trainCfg.Recorder = cfg.Recorder
+	}
+	rec := trainCfg.Recorder
+	if rec == nil {
+		rec = telemetry.Nop{}
+	}
+
+	ing, err := NewIngestor(cfg.Capacity, initial.Dim(), cfg.Seed, cfg.Window)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:      cfg,
+		trainCfg: trainCfg,
+		ing:      ing,
+		model:    NewModel(initial),
+		rec:      rec,
+		done:     make(chan struct{}),
+	}
+	if cfg.Prefill {
+		data := initial.TrainingData()
+		if _, err := ing.AddFlat(data.Data, data.Dim); err != nil {
+			return nil, fmt.Errorf("stream: prefill: %w", err)
+		}
+		// The prefilled rows are already served by the initial model;
+		// only rows beyond them count toward the retrain triggers.
+		s.lastTrained.Store(ing.Seen())
+	}
+	return s, nil
+}
+
+// Model returns the zero-downtime query handle. It remains valid for the
+// life of the service (and after Close).
+func (s *Service) Model() *Model { return s.model }
+
+// Ingestor exposes the bounded sample, mainly for tests and stats.
+func (s *Service) Ingestor() *Ingestor { return s.ing }
+
+// Ingest validates and ingests a batch of rows, returning how many were
+// accepted. The batch is rejected whole on the first malformed row.
+// Ingestion never blocks on retraining: it contends only with other
+// ingest batches and the brief sample copy at the start of a retrain.
+func (s *Service) Ingest(rows [][]float64) (int, error) {
+	return s.ing.Add(rows)
+}
+
+// Start launches the background retrainer, which checks triggers every
+// CheckInterval and rebuilds off the query path when one fires. Safe to
+// call at most once; Close stops it.
+func (s *Service) Start() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(s.cfg.CheckInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.done:
+				return
+			case <-t.C:
+				if _, err := s.maybeRetrain(); err != nil {
+					s.setErr(err)
+				}
+			}
+		}
+	}()
+}
+
+// Close stops the background retrainer and writes a final atomic
+// snapshot of the live model when SnapshotPath is configured.
+// Idempotent; the Model handle keeps serving afterwards.
+func (s *Service) Close() error {
+	s.stopOnce.Do(func() { close(s.done) })
+	s.wg.Wait()
+	if s.cfg.SnapshotPath == "" {
+		return nil
+	}
+	return s.model.Current().SaveFile(s.cfg.SnapshotPath)
+}
+
+// Retrain synchronously rebuilds a classifier from the current sample
+// and publishes it, regardless of triggers. It is the manual control
+// surface (tests, admin endpoints); concurrent retrains serialize.
+func (s *Service) Retrain() error { return s.retrain() }
+
+// maybeRetrain checks the triggers and retrains when one fires,
+// returning the trigger's name ("" if none fired). It is the body of the
+// background loop, split out so tests can drive it without the ticker.
+func (s *Service) maybeRetrain() (string, error) {
+	reason := s.trigger()
+	if reason == "" {
+		return "", nil
+	}
+	return reason, s.retrain()
+}
+
+// trigger names the first retrain trigger currently firing. All triggers
+// require at least one row ingested since the last retrain: a model
+// never goes stale against data it has already seen.
+func (s *Service) trigger() string {
+	pending := s.ing.Seen() - s.lastTrained.Load()
+	if pending <= 0 {
+		return ""
+	}
+	if s.cfg.RetrainEvery > 0 && pending >= s.cfg.RetrainEvery {
+		return "count"
+	}
+	if s.cfg.MaxModelAge > 0 && s.model.Age() >= s.cfg.MaxModelAge {
+		return "age"
+	}
+	if s.cfg.DriftTolerance > 0 && s.thresholdDrifted() {
+		return "drift"
+	}
+	return ""
+}
+
+// thresholdDrifted compares the live threshold against a cheap
+// bootstrap-style probe of the current sample (core.ProbeThreshold).
+// Each check uses a fresh derived seed so repeated probes of a drifting
+// stream don't resample identical rows.
+func (s *Service) thresholdDrifted() bool {
+	live := s.model.Current().Threshold()
+	if live <= 0 || math.IsInf(live, 0) || math.IsNaN(live) {
+		return false
+	}
+	sample := s.ing.Sample(s.cfg.ProbeRows+s.cfg.ProbeQueries, s.cfg.Seed+s.probeSeq.Add(1))
+	if sample == nil || sample.Len() < 3 {
+		return false
+	}
+	probe, err := core.ProbeThreshold(sample, s.trainCfg, s.cfg.ProbeRows, s.cfg.ProbeQueries, s.cfg.Seed)
+	if err != nil || probe <= 0 {
+		return false
+	}
+	return math.Abs(probe-live)/live > s.cfg.DriftTolerance
+}
+
+// retrain rebuilds from a snapshot of the sample and publishes the
+// result. The sample copy is the only moment it touches the ingest lock;
+// training runs entirely off both the ingest and query paths.
+func (s *Service) retrain() error {
+	s.retrainMu.Lock()
+	defer s.retrainMu.Unlock()
+
+	snap, seen := s.ing.Snapshot()
+	if snap == nil {
+		return errEmpty
+	}
+	start := time.Now()
+	clf, err := core.TrainStore(snap, s.trainCfg)
+	if err != nil {
+		return fmt.Errorf("stream: retrain: %w", err)
+	}
+	gen := s.model.Publish(clf)
+	s.lastTrained.Store(seen)
+	s.retrains.Add(1)
+	if s.rec.Enabled() {
+		s.rec.RecordSpan(telemetry.Span{
+			Name:     fmt.Sprintf("retrain/gen-%d", gen),
+			Duration: time.Since(start),
+			Kernels:  clf.TrainStats().TrainKernels,
+			Items:    int64(snap.Len()),
+		})
+	}
+	if s.cfg.SnapshotPath != "" {
+		if err := clf.SaveFile(s.cfg.SnapshotPath); err != nil {
+			return err
+		}
+	}
+	s.setErr(nil)
+	return nil
+}
+
+func (s *Service) setErr(err error) {
+	s.errMu.Lock()
+	s.lastErr = err
+	s.errMu.Unlock()
+}
+
+// Stats snapshots the lifecycle.
+func (s *Service) Stats() Stats {
+	clf, gen, born := s.model.View()
+	st := Stats{
+		Generation: gen,
+		ModelAge:   time.Since(born),
+		ModelN:     clf.N(),
+		Threshold:  clf.Threshold(),
+		Ingested:   s.ing.Seen(),
+		SampleSize: s.ing.Len(),
+		Capacity:   s.ing.Capacity(),
+		Window:     s.ing.WindowMode(),
+		Retrains:   s.retrains.Load(),
+	}
+	s.errMu.Lock()
+	if s.lastErr != nil {
+		st.LastError = s.lastErr.Error()
+	}
+	s.errMu.Unlock()
+	return st
+}
