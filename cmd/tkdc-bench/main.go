@@ -12,13 +12,30 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"time"
 
 	"tkdc/internal/bench"
 	"tkdc/internal/telemetry"
 )
+
+// jsonReport is the machine-readable envelope -json emits: enough run
+// metadata to make a committed baseline (BENCH_core.json) reproducible.
+type jsonReport struct {
+	Experiment string        `json:"experiment"`
+	Scale      float64       `json:"scale"`
+	MaxQueries int           `json:"max_queries"`
+	Seed       int64         `json:"seed"`
+	GoVersion  string        `json:"go_version"`
+	GOARCH     string        `json:"goarch"`
+	Timestamp  string        `json:"timestamp"`
+	Tables     []bench.Table `json:"tables"`
+}
 
 func main() {
 	var (
@@ -28,6 +45,7 @@ func main() {
 		seed       = flag.Int64("seed", 42, "random seed for dataset generation and training")
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		stats      = flag.Bool("stats", false, "print a post-run telemetry summary (tKDC phase traces, work histograms) to stderr")
+		jsonOut    = flag.Bool("json", false, "emit results as a JSON report on stdout instead of rendered tables")
 	)
 	flag.Parse()
 
@@ -44,12 +62,34 @@ func main() {
 		Seed:       *seed,
 		Out:        os.Stdout,
 	}
+	if *jsonOut {
+		opts.Out = io.Discard
+	}
 	if *stats {
 		opts.Recorder = telemetry.Default
 	}
-	if _, err := bench.Run(*experiment, opts); err != nil {
+	tables, err := bench.Run(*experiment, opts)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tkdc-bench:", err)
 		os.Exit(1)
+	}
+	if *jsonOut {
+		report := jsonReport{
+			Experiment: *experiment,
+			Scale:      *scale,
+			MaxQueries: *maxQueries,
+			Seed:       *seed,
+			GoVersion:  runtime.Version(),
+			GOARCH:     runtime.GOARCH,
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+			Tables:     tables,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "tkdc-bench:", err)
+			os.Exit(1)
+		}
 	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "tkdc-bench: telemetry across all tKDC classifiers in the run\n%s",

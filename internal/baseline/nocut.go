@@ -51,7 +51,9 @@ func (nc *NoCut) Density(x []float64) float64 {
 	return 0.5 * (fl + fu)
 }
 
-// Bounds returns certified density bounds with fu − fl ≤ ε·fl.
+// Bounds returns certified density bounds with fu − fl ≤ ε·fl. It
+// traverses the pointer view of the index (Tree.Root), exercising the
+// compatibility surface the arena-based hot path no longer uses.
 func (nc *NoCut) Bounds(x []float64) (fl, fu float64) {
 	nc.heap = nc.heap[:0]
 	n := float64(nc.tree.Size)
@@ -64,9 +66,10 @@ func (nc *NoCut) Bounds(x []float64) (fl, fu float64) {
 		return wlo, whi
 	}
 
-	wlo, whi := weights(nc.tree.Root)
+	root := nc.tree.Root()
+	wlo, whi := weights(root)
 	fl, fu = wlo, whi
-	nc.push(nodeBound{nc.tree.Root, wlo, whi})
+	nc.push(nodeBound{root, wlo, whi})
 
 	for len(nc.heap) > 0 {
 		if nc.eps > 0 && fu-fl <= nc.eps*fl {

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tkdc/internal/kdtree"
+	"tkdc/internal/kernel"
+	"tkdc/internal/points"
+	"tkdc/internal/stats"
+)
+
+// boundBenchState is one per-dimension benchmark fixture: an index over
+// 50k Gaussian points and a threshold at the paper's default p=0.01
+// quantile, so boundDensity runs under realistic pruning pressure.
+type boundBenchState struct {
+	est     *densityEstimator
+	pts     *points.Store
+	t       float64
+	queries []float64 // flat row-major query block
+	dim     int
+}
+
+func newBoundBenchState(b *testing.B, d int) *boundBenchState {
+	b.Helper()
+	const n = 50000
+	rng := rand.New(rand.NewSource(int64(40 + d)))
+	pts := points.New(n, d)
+	for i := range pts.Data {
+		pts.Data[i] = rng.NormFloat64() * 3
+	}
+	h, err := kernel.ScottBandwidths(pts, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kern, err := kernel.NewGaussian(h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := kdtree.Build(pts, kdtree.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := newDensityEstimator(tree, kern, false, false)
+
+	// Estimate the p=0.01 threshold from a small exact-density sample —
+	// enough precision to put the traversal in its production regime.
+	const sample = 256
+	ds := make([]float64, sample)
+	for i := 0; i < sample; i++ {
+		ds[i] = exactDensity(pts, kern, pts.Row(i*(n/sample)))
+	}
+	sort.Float64s(ds)
+	t, err := stats.SortedQuantile(ds, 0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &boundBenchState{est: est, pts: pts, t: t, queries: pts.Data, dim: d}
+}
+
+// BenchmarkBoundDensity measures the Algorithm 2 traversal in isolation
+// — no grid cache, no validation, no telemetry — across the paper's
+// dimensionality range. This is the direct probe for tree-layout and
+// bound-computation changes: each iteration is one priority-queue
+// traversal with fused box-distance bounds.
+func BenchmarkBoundDensity(b *testing.B) {
+	for _, d := range []int{1, 2, 4, 8} {
+		d := d
+		b.Run(fmt.Sprintf("d%d", d), func(b *testing.B) {
+			st := newBoundBenchState(b, d)
+			n := st.pts.Len()
+			tolCut := 0.01 * st.t
+			var qs QueryStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x := st.queries[(i%n)*d : (i%n)*d+d]
+				st.est.boundDensity(x, st.t, st.t, tolCut, &qs)
+			}
+			b.ReportMetric(float64(qs.NodesVisited)/float64(b.N), "nodes/op")
+		})
+	}
+}

@@ -663,7 +663,17 @@ func (c *Classifier) getEstimator() *densityEstimator {
 	return c.estPool.Get().(*densityEstimator)
 }
 
+// maxPooledHeapItems caps the refine-heap capacity an estimator may
+// carry back into the pool. One pathological query (a dense region with
+// pruning disabled, say) can grow the heap to O(nodes); without the cap
+// that backing array would be pinned by the pool for the classifier's
+// lifetime and multiplied across every pooled estimator.
+const maxPooledHeapItems = 4096
+
 func (c *Classifier) putEstimator(e *densityEstimator) {
+	if cap(e.heap.items) > maxPooledHeapItems {
+		e.heap.items = nil
+	}
 	c.estPool.Put(e)
 }
 

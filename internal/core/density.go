@@ -34,12 +34,15 @@ func (q *QueryStats) add(o QueryStats) {
 	}
 }
 
-// heapItem is one k-d tree node awaiting refinement, with its current
-// contribution to the density bounds.
+// heapItem is one k-d tree arena node awaiting refinement, with its
+// current contribution to the density bounds. Nodes are referenced by
+// int32 arena id — the heap is a dense slice of small value structs, no
+// pointers for the collector to trace or the traversal to chase.
 type heapItem struct {
-	node *kdtree.Node
-	wlo  float64 // minimum contribution: count/n · K(d_max)
-	whi  float64 // maximum contribution: count/n · K(d_min)
+	wlo float64 // minimum contribution: count/n · K(d_max)
+	whi float64 // maximum contribution: count/n · K(d_min)
+	pri float64 // whi − wlo, precomputed once at push
+	id  int32   // arena node id
 }
 
 // refineHeap is a max-heap on whi−wlo (scaled by the node's count via the
@@ -52,11 +55,12 @@ type refineHeap struct {
 func (h *refineHeap) len() int { return len(h.items) }
 
 func (h *refineHeap) push(it heapItem) {
+	it.pri = it.whi - it.wlo
 	h.items = append(h.items, it)
 	i := len(h.items) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h.items[parent].priority() >= h.items[i].priority() {
+		if h.items[parent].pri >= h.items[i].pri {
 			break
 		}
 		h.items[parent], h.items[i] = h.items[i], h.items[parent]
@@ -73,10 +77,10 @@ func (h *refineHeap) pop() heapItem {
 	for {
 		l, r := 2*i+1, 2*i+2
 		largest := i
-		if l < len(h.items) && h.items[l].priority() > h.items[largest].priority() {
+		if l < len(h.items) && h.items[l].pri > h.items[largest].pri {
 			largest = l
 		}
-		if r < len(h.items) && h.items[r].priority() > h.items[largest].priority() {
+		if r < len(h.items) && h.items[r].pri > h.items[largest].pri {
 			largest = r
 		}
 		if largest == i {
@@ -87,8 +91,6 @@ func (h *refineHeap) pop() heapItem {
 	}
 }
 
-func (it heapItem) priority() float64 { return it.whi - it.wlo }
-
 // densityEstimator bounds kernel densities over one index. It is the
 // reusable engine behind both the classifier and the threshold bootstrap.
 // Not safe for concurrent use: callers create one per goroutine (the
@@ -96,6 +98,7 @@ func (it heapItem) priority() float64 { return it.whi - it.wlo }
 type densityEstimator struct {
 	tree  *kdtree.Tree
 	kern  kernel.Kernel
+	gauss *kernel.Gaussian // non-nil when kern is Gaussian: devirtualized hot path
 	invH2 []float64
 	n     float64
 	heap  refineHeap
@@ -105,9 +108,11 @@ type densityEstimator struct {
 }
 
 func newDensityEstimator(tree *kdtree.Tree, kern kernel.Kernel, disableThreshold, disableTolerance bool) *densityEstimator {
+	g, _ := kern.(*kernel.Gaussian)
 	return &densityEstimator{
 		tree:             tree,
 		kern:             kern,
+		gauss:            g,
 		invH2:            kern.InvBandwidthsSq(),
 		n:                float64(tree.Size),
 		disableThreshold: disableThreshold,
@@ -115,12 +120,22 @@ func newDensityEstimator(tree *kdtree.Tree, kern kernel.Kernel, disableThreshold
 	}
 }
 
-// weights returns the minimum and maximum possible density contribution of
-// a node's region to a query at x (Equation 6).
-func (e *densityEstimator) weights(n *kdtree.Node, x []float64) (wlo, whi float64) {
-	frac := float64(n.Count()) / e.n
-	wlo = frac * e.kern.FromScaledSqDist(n.MaxSqDist(x, e.invH2))
-	whi = frac * e.kern.FromScaledSqDist(n.MinSqDist(x, e.invH2))
+// weights returns the minimum and maximum possible density contribution
+// of an arena node's region to a query at x (Equation 6). One fused
+// sweep over the node's box produces both distance bounds.
+func (e *densityEstimator) weights(id int32, x []float64) (wlo, whi float64) {
+	frac := float64(e.tree.Count(id)) / e.n
+	dmin, dmax := e.tree.BoundsSqDist(id, x, e.invH2)
+	// The default Gaussian gets a direct (inlinable) call: its truncation
+	// and peak fast paths then cost a compare instead of an interface
+	// dispatch, and this is the single hottest call site of a query.
+	if g := e.gauss; g != nil {
+		wlo = frac * g.FromScaledSqDist(dmax)
+		whi = frac * g.FromScaledSqDist(dmin)
+		return wlo, whi
+	}
+	wlo = frac * e.kern.FromScaledSqDist(dmax)
+	whi = frac * e.kern.FromScaledSqDist(dmin)
 	return wlo, whi
 }
 
@@ -136,11 +151,12 @@ func (e *densityEstimator) weights(n *kdtree.Node, x []float64) (wlo, whi float6
 // factor-analysis baseline of Figure 12.
 func (e *densityEstimator) boundDensity(x []float64, tl, tu, tolCut float64, stats *QueryStats) (fl, fu float64) {
 	e.heap.items = e.heap.items[:0]
+	t := e.tree
 
-	wlo, whi := e.weights(e.tree.Root, x)
+	wlo, whi := e.weights(0, x)
 	stats.BoundKernels += 2
 	fl, fu = wlo, whi
-	e.heap.push(heapItem{node: e.tree.Root, wlo: wlo, whi: whi})
+	e.heap.push(heapItem{id: 0, wlo: wlo, whi: whi})
 
 	for e.heap.len() > 0 {
 		if !e.disableThreshold {
@@ -157,16 +173,17 @@ func (e *densityEstimator) boundDensity(x []float64, tl, tu, tolCut float64, sta
 		fl -= cur.wlo
 		fu -= cur.whi
 
-		if cur.node.IsLeaf() {
+		left, right := t.Children(cur.id)
+		if left < 0 {
 			// One contiguous sweep over the leaf's flat row range.
-			sum := kernel.Sum(e.kern, x, e.tree.Leaf(cur.node))
-			stats.PointKernels += int64(cur.node.Count())
+			sum := kernel.Sum(e.kern, x, t.LeafFlat(cur.id))
+			stats.PointKernels += int64(t.Count(cur.id))
 			sum /= e.n
 			fl += sum
 			fu += sum
 			continue
 		}
-		for _, child := range []*kdtree.Node{cur.node.Left, cur.node.Right} {
+		for _, child := range [2]int32{left, right} {
 			cwlo, cwhi := e.weights(child, x)
 			stats.BoundKernels += 2
 			if cwhi == 0 {
@@ -176,7 +193,7 @@ func (e *densityEstimator) boundDensity(x []float64, tl, tu, tolCut float64, sta
 			}
 			fl += cwlo
 			fu += cwhi
-			e.heap.push(heapItem{node: child, wlo: cwlo, whi: cwhi})
+			e.heap.push(heapItem{id: child, wlo: cwlo, whi: cwhi})
 		}
 	}
 	// Guard against floating-point drift pushing the bounds negative or
@@ -197,11 +214,12 @@ func (e *densityEstimator) boundDensity(x []float64, tl, tu, tolCut float64, sta
 // density values rather than classifications.
 func (e *densityEstimator) estimateDensity(x []float64, rel float64, stats *QueryStats) (fl, fu float64) {
 	e.heap.items = e.heap.items[:0]
+	t := e.tree
 
-	wlo, whi := e.weights(e.tree.Root, x)
+	wlo, whi := e.weights(0, x)
 	stats.BoundKernels += 2
 	fl, fu = wlo, whi
-	e.heap.push(heapItem{node: e.tree.Root, wlo: wlo, whi: whi})
+	e.heap.push(heapItem{id: 0, wlo: wlo, whi: whi})
 
 	for e.heap.len() > 0 {
 		if rel > 0 && fu-fl <= rel*fl {
@@ -211,16 +229,17 @@ func (e *densityEstimator) estimateDensity(x []float64, rel float64, stats *Quer
 		stats.NodesVisited++
 		fl -= cur.wlo
 		fu -= cur.whi
-		if cur.node.IsLeaf() {
+		left, right := t.Children(cur.id)
+		if left < 0 {
 			// One contiguous sweep over the leaf's flat row range.
-			sum := kernel.Sum(e.kern, x, e.tree.Leaf(cur.node))
-			stats.PointKernels += int64(cur.node.Count())
+			sum := kernel.Sum(e.kern, x, t.LeafFlat(cur.id))
+			stats.PointKernels += int64(t.Count(cur.id))
 			sum /= e.n
 			fl += sum
 			fu += sum
 			continue
 		}
-		for _, child := range []*kdtree.Node{cur.node.Left, cur.node.Right} {
+		for _, child := range [2]int32{left, right} {
 			cwlo, cwhi := e.weights(child, x)
 			stats.BoundKernels += 2
 			if cwhi == 0 {
@@ -230,7 +249,7 @@ func (e *densityEstimator) estimateDensity(x []float64, rel float64, stats *Quer
 			}
 			fl += cwlo
 			fu += cwhi
-			e.heap.push(heapItem{node: child, wlo: cwlo, whi: cwhi})
+			e.heap.push(heapItem{id: child, wlo: cwlo, whi: cwhi})
 		}
 	}
 	if fl < 0 {

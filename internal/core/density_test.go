@@ -147,10 +147,10 @@ func TestRefineHeapOrdering(t *testing.T) {
 	prev := math.Inf(1)
 	for h.len() > 0 {
 		it := h.pop()
-		if it.priority() > prev {
-			t.Fatalf("heap popped %v after %v", it.priority(), prev)
+		if it.pri > prev {
+			t.Fatalf("heap popped %v after %v", it.pri, prev)
 		}
-		prev = it.priority()
+		prev = it.pri
 	}
 }
 

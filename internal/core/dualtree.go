@@ -6,7 +6,6 @@ import (
 	"sort"
 	"time"
 
-	"tkdc/internal/kdtree"
 	"tkdc/internal/telemetry"
 )
 
@@ -212,9 +211,9 @@ func (g *groupClassifier) certify(lo, hi []float64) (Label, bool) {
 	tHi := g.c.threshold * (1 + g.c.cfg.Epsilon)
 	est.heap.items = est.heap.items[:0]
 
-	wlo, whi := g.groupWeights(lo, hi, est, est.tree.Root)
+	wlo, whi := g.groupWeights(lo, hi, est, 0)
 	fl, fu := wlo, whi
-	est.heap.push(heapItem{node: est.tree.Root, wlo: wlo, whi: whi})
+	est.heap.push(heapItem{id: 0, wlo: wlo, whi: whi})
 
 	for budget := groupNodeBudget; est.heap.len() > 0 && budget > 0; budget-- {
 		if fl > tLo {
@@ -227,13 +226,14 @@ func (g *groupClassifier) certify(lo, hi []float64) (Label, bool) {
 		g.stats.NodesVisited++
 		fl -= cur.wlo
 		fu -= cur.whi
-		if cur.node.IsLeaf() {
+		left, right := est.tree.Children(cur.id)
+		if left < 0 {
 			// Refine a leaf by scoring its points individually against
 			// the query box (point-to-box distances) — the tightest bound
 			// available while the query side stays a box. The leaf is one
 			// contiguous flat sweep.
 			var sumLo, sumHi float64
-			leaf := est.tree.Leaf(cur.node)
+			leaf := est.tree.LeafFlat(cur.id)
 			d := est.tree.Dim
 			for off := 0; off < len(leaf); off += d {
 				p := leaf[off : off+d]
@@ -254,19 +254,19 @@ func (g *groupClassifier) certify(lo, hi []float64) (Label, bool) {
 				sumLo += est.kern.FromScaledSqDist(dmaxSq)
 				sumHi += est.kern.FromScaledSqDist(dminSq)
 			}
-			g.stats.PointKernels += 2 * int64(cur.node.Count())
+			g.stats.PointKernels += 2 * int64(est.tree.Count(cur.id))
 			fl += sumLo / est.n
 			fu += sumHi / est.n
 			continue
 		}
-		for _, child := range []*kdtree.Node{cur.node.Left, cur.node.Right} {
+		for _, child := range [2]int32{left, right} {
 			cwlo, cwhi := g.groupWeights(lo, hi, est, child)
 			if cwhi == 0 {
 				continue
 			}
 			fl += cwlo
 			fu += cwhi
-			est.heap.push(heapItem{node: child, wlo: cwlo, whi: cwhi})
+			est.heap.push(heapItem{id: child, wlo: cwlo, whi: cwhi})
 		}
 	}
 	switch {
@@ -280,26 +280,28 @@ func (g *groupClassifier) certify(lo, hi []float64) (Label, bool) {
 }
 
 // groupWeights bounds a data node's density contribution for every query
-// in box [qlo, qhi] at once.
-func (g *groupClassifier) groupWeights(qlo, qhi []float64, est *densityEstimator, n *kdtree.Node) (wlo, whi float64) {
+// in box [qlo, qhi] at once. The node's box is read straight from the
+// arena's box slab.
+func (g *groupClassifier) groupWeights(qlo, qhi []float64, est *densityEstimator, id int32) (wlo, whi float64) {
+	nlo, nhi := est.tree.Box(id)
 	minSq, maxSq := 0.0, 0.0
 	for j := range qlo {
 		inv := est.invH2[j]
 		// Nearest gap between the intervals [qlo, qhi] and [Min, Max].
 		var gap float64
 		switch {
-		case n.Min[j] > qhi[j]:
-			gap = n.Min[j] - qhi[j]
-		case qlo[j] > n.Max[j]:
-			gap = qlo[j] - n.Max[j]
+		case nlo[j] > qhi[j]:
+			gap = nlo[j] - qhi[j]
+		case qlo[j] > nhi[j]:
+			gap = qlo[j] - nhi[j]
 		}
 		minSq += gap * gap * inv
 		// Farthest distance between the intervals.
-		far := math.Max(n.Max[j]-qlo[j], qhi[j]-n.Min[j])
+		far := math.Max(nhi[j]-qlo[j], qhi[j]-nlo[j])
 		maxSq += far * far * inv
 	}
 	g.stats.BoundKernels += 2
-	frac := float64(n.Count()) / est.n
+	frac := float64(est.tree.Count(id)) / est.n
 	wlo = frac * est.kern.FromScaledSqDist(maxSq)
 	whi = frac * est.kern.FromScaledSqDist(minSq)
 	return wlo, whi

@@ -60,7 +60,7 @@ func TestSingleLeafTree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !tr.Root.IsLeaf() || tr.Root.Count() != 2 {
+	if !tr.Root().IsLeaf() || tr.Root().Count() != 2 {
 		t.Fatal("two points with LeafSize 10 should be a single leaf")
 	}
 	if tr.Height() != 1 || tr.NodeCount() != 1 {
@@ -77,14 +77,14 @@ func TestAllIdenticalPoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !tr.Root.IsLeaf() {
+	if !tr.Root().IsLeaf() {
 		t.Fatal("identical points cannot be split; root must be a leaf")
 	}
-	if tr.Root.Count() != 100 {
-		t.Fatalf("count = %d, want 100", tr.Root.Count())
+	if tr.Root().Count() != 100 {
+		t.Fatalf("count = %d, want 100", tr.Root().Count())
 	}
 	for j := 0; j < 3; j++ {
-		if tr.Root.Min[j] != 7 || tr.Root.Max[j] != 7 {
+		if tr.Root().Min[j] != 7 || tr.Root().Max[j] != 7 {
 			t.Fatal("degenerate bounding box expected")
 		}
 	}
@@ -148,7 +148,7 @@ func checkInvariants(t *testing.T, tr *Tree) {
 		walk(n.Left)
 		walk(n.Right)
 	}
-	walk(tr.Root)
+	walk(tr.Root())
 	if total != tr.Size {
 		t.Fatalf("tree preserved %d of %d points", total, tr.Size)
 	}
@@ -194,7 +194,7 @@ func TestTreeInvariantsProperty(t *testing.T) {
 				walk(nd.Left)
 				walk(nd.Right)
 			}
-			walk(tr.Root)
+			walk(tr.Root())
 			return ok && total == n
 		}
 		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
@@ -239,7 +239,7 @@ func TestDistanceBoundsProperty(t *testing.T) {
 			walk(n.Left)
 			walk(n.Right)
 		}
-		walk(tr.Root)
+		walk(tr.Root())
 		return ok
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
@@ -251,13 +251,13 @@ func TestMinSqDistInsideBoxIsZero(t *testing.T) {
 	pts := storeOf([][]float64{{0, 0}, {10, 10}})
 	tr, _ := Build(pts, Options{})
 	invH2 := []float64{1, 1}
-	if got := tr.Root.MinSqDist([]float64{5, 5}, invH2); got != 0 {
+	if got := tr.Root().MinSqDist([]float64{5, 5}, invH2); got != 0 {
 		t.Fatalf("inside-box MinSqDist = %v, want 0", got)
 	}
-	if got := tr.Root.MinSqDist([]float64{-3, 0}, invH2); got != 9 {
+	if got := tr.Root().MinSqDist([]float64{-3, 0}, invH2); got != 9 {
 		t.Fatalf("MinSqDist = %v, want 9", got)
 	}
-	if got := tr.Root.MaxSqDist([]float64{0, 0}, invH2); got != 200 {
+	if got := tr.Root().MaxSqDist([]float64{0, 0}, invH2); got != 200 {
 		t.Fatalf("MaxSqDist = %v, want 200", got)
 	}
 }
@@ -397,12 +397,12 @@ func TestEquiWidthSplitsAtTrimmedMidpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tr.Root.IsLeaf() {
+	if tr.Root().IsLeaf() {
 		t.Fatal("root should split")
 	}
 	// The children should separate the clusters: one child entirely
 	// below 50, the other entirely above.
-	l, r := tr.Root.Left, tr.Root.Right
+	l, r := tr.Root().Left, tr.Root().Right
 	if l.Max[0] > 50 || r.Min[0] < 50 {
 		t.Fatalf("equi-width split failed to separate clusters: left max %v, right min %v", l.Max[0], r.Min[0])
 	}
@@ -414,8 +414,8 @@ func TestEquiWidthSplitsAtTrimmedMidpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if med.Root.Left.Count() != 50 && med.Root.Right.Count() != 50 {
-		t.Fatalf("median split should balance: %d/%d", med.Root.Left.Count(), med.Root.Right.Count())
+	if med.Root().Left.Count() != 50 && med.Root().Right.Count() != 50 {
+		t.Fatalf("median split should balance: %d/%d", med.Root().Left.Count(), med.Root().Right.Count())
 	}
 }
 
@@ -453,7 +453,7 @@ func TestTreeStats(t *testing.T) {
 			walk(node.Left)
 			walk(node.Right)
 		}
-		walk(tr.Root)
+		walk(tr.Root())
 		if total != n {
 			t.Fatalf("n=%d: leaves hold %d points", n, total)
 		}

@@ -72,12 +72,19 @@ func Sum(k Kernel, x, rows []float64) float64 {
 	}
 	d := len(x)
 	invH2 := k.InvBandwidthsSq()
+	// Hoist the support radius out of the loop: beyond it the kernel is
+	// exactly zero, so the interface call can be skipped entirely — the
+	// same short-circuit the concrete SumFlat fast paths apply inline.
+	support := k.SupportSqRadius()
 	sum := 0.0
 	for off := 0; off < len(rows); off += d {
 		s := 0.0
 		for j, xj := range x {
 			diff := xj - rows[off+j]
 			s += diff * diff * invH2[j]
+		}
+		if s >= support {
+			continue
 		}
 		sum += k.FromScaledSqDist(s)
 	}
@@ -175,6 +182,21 @@ func (g *Gaussian) FromScaledSqDist(s float64) float64 {
 	if s >= gaussianCutoffSq {
 		return 0
 	}
+	// exp(−0) = 1 exactly, so the peak value needs no exp call. Box
+	// bounds hit s = 0 on every node containing the query point, which
+	// makes this the hottest input of the whole traversal.
+	if s == 0 {
+		return g.norm
+	}
+	return g.expTail(s)
+}
+
+// expTail is the general-case body of FromScaledSqDist, kept out of line
+// so the truncation and peak fast paths above stay within the inlining
+// budget: traversals then pay a call only when exp is genuinely needed.
+//
+//go:noinline
+func (g *Gaussian) expTail(s float64) float64 {
 	return g.norm * math.Exp(-0.5*s)
 }
 
@@ -182,13 +204,39 @@ func (g *Gaussian) FromScaledSqDist(s float64) float64 {
 // row width len(x), sweeping the buffer contiguously.
 func (g *Gaussian) SumFlat(x, rows []float64) float64 {
 	d := len(x)
+	inv := g.invH2[:d]
 	sum := 0.0
+	// Unrolled low-dimensional sweeps: same per-row expression in the
+	// same row order as the generic loop, so the result is bit-identical
+	// — only the loop bookkeeping differs.
+	switch d {
+	case 1:
+		x0, inv0 := x[0], inv[0]
+		for _, r := range rows {
+			diff := x0 - r
+			if s := diff * diff * inv0; s < gaussianCutoffSq {
+				sum += g.norm * math.Exp(-0.5*s)
+			}
+		}
+		return sum
+	case 2:
+		x0, x1 := x[0], x[1]
+		inv0, inv1 := inv[0], inv[1]
+		for off := 0; off+1 < len(rows); off += 2 {
+			d0 := x0 - rows[off]
+			d1 := x1 - rows[off+1]
+			if s := d0*d0*inv0 + d1*d1*inv1; s < gaussianCutoffSq {
+				sum += g.norm * math.Exp(-0.5*s)
+			}
+		}
+		return sum
+	}
 	for off := 0; off < len(rows); off += d {
-		row := rows[off : off+d]
+		row := rows[off : off+d : off+d]
 		s := 0.0
 		for j, xj := range x {
 			diff := xj - row[j]
-			s += diff * diff * g.invH2[j]
+			s += diff * diff * inv[j]
 		}
 		if s >= gaussianCutoffSq {
 			continue
@@ -268,13 +316,14 @@ func (e *Epanechnikov) FromScaledSqDist(s float64) float64 {
 // row width len(x), sweeping the buffer contiguously.
 func (e *Epanechnikov) SumFlat(x, rows []float64) float64 {
 	d := len(x)
+	inv := e.invH2[:d]
 	sum := 0.0
 	for off := 0; off < len(rows); off += d {
-		row := rows[off : off+d]
+		row := rows[off : off+d : off+d]
 		s := 0.0
 		for j, xj := range x {
 			diff := xj - row[j]
-			s += diff * diff * e.invH2[j]
+			s += diff * diff * inv[j]
 		}
 		if s >= 1 {
 			continue
