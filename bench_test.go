@@ -442,6 +442,29 @@ func BenchmarkTraining(b *testing.B) {
 	}
 }
 
+// BenchmarkTrain is the parallel-training baseline pinned in
+// BENCH_train.json: end-to-end Train on 50k points at each worker
+// count. Models are bit-identical across counts, so this isolates the
+// wall-clock effect of the level-parallel tree build, concurrent
+// bootstrap scoring, and parallel grid fill.
+func BenchmarkTrain(b *testing.B) {
+	data := benchData(b, "gauss", 50000, 2)
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Seed = 42
+			cfg.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Train(data, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkParallelClassify measures the Workers extension: batch
 // classification across goroutines.
 func BenchmarkParallelClassify(b *testing.B) {

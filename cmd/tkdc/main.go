@@ -58,7 +58,7 @@ func main() {
 		eps       = flag.Float64("epsilon", 0.01, "multiplicative classification error")
 		delta     = flag.Float64("delta", 0.01, "threshold bound failure probability")
 		bw        = flag.Float64("b", 1, "bandwidth scale factor (Scott's rule multiplier)")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "classification goroutines")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "training and classification goroutines (models are bit-identical at any count)")
 		seed      = flag.Int64("seed", 42, "training seed")
 		density   = flag.Bool("density", false, "print density bounds alongside labels")
 		stats     = flag.Bool("stats", false, "print a post-run telemetry summary to stderr")
@@ -99,6 +99,9 @@ func main() {
 		if reg != nil {
 			clf.SetRecorder(reg)
 		}
+		// The snapshot carries the training machine's Workers; serve with
+		// this host's budget instead (also inherited by -stream retrains).
+		clf.SetWorkers(*workers)
 		if *queryPath == "" && *serve == "" {
 			fmt.Fprintln(os.Stderr, "tkdc: -load requires -query or -serve")
 			os.Exit(2)
@@ -128,8 +131,8 @@ func main() {
 			fail(err)
 		}
 		ts := clf.TrainStats()
-		fmt.Fprintf(os.Stderr, "tkdc: trained on n=%d d=%d; threshold t(p=%g)=%.6g in [%.6g, %.6g]; %d bootstrap rounds\n",
-			ts.N, ts.Dim, *p, ts.Threshold, ts.ThresholdLow, ts.ThresholdHigh, ts.BootstrapRounds)
+		fmt.Fprintf(os.Stderr, "tkdc: trained on n=%d d=%d; threshold t(p=%g)=%.6g in [%.6g, %.6g]; %d bootstrap rounds; %d workers\n",
+			ts.N, ts.Dim, *p, ts.Threshold, ts.ThresholdLow, ts.ThresholdHigh, ts.BootstrapRounds, ts.Workers)
 		if *savePath != "" {
 			f, err := os.Create(*savePath)
 			if err != nil {

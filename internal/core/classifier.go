@@ -138,8 +138,12 @@ type TrainStats struct {
 	// TrainKernels counts kernel evaluations spent in training (bootstrap
 	// plus the full-dataset density pass).
 	TrainKernels int64
-	GridEnabled  bool
-	GridCells    int
+	// Workers is the effective goroutine budget the training pipeline
+	// fanned out to (1 = single-threaded): tree build, bootstrap
+	// scoring, grid fill, and the refinement pass all share it.
+	Workers     int
+	GridEnabled bool
+	GridCells   int
 	// Phases is the training trace: one span per bootstrap round
 	// ("bootstrap/round-NN"), the index/grid construction ("assemble"),
 	// and one span per threshold-refinement pass ("refine/pass-N") —
@@ -220,6 +224,10 @@ func TrainStore(data *points.Store, cfg Config) (*Classifier, error) {
 	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	workers := effectiveWorkers(cfg.Workers)
+	if workers < 1 {
+		workers = 1
+	}
 
 	// Phase 1: probabilistic threshold bounds (Algorithm 3). Each
 	// bootstrap round contributes a trace span.
@@ -239,6 +247,7 @@ func TrainStore(data *points.Store, cfg Config) (*Classifier, error) {
 		Name:     "assemble",
 		Duration: time.Since(asmStart),
 		Items:    int64(data.Len()),
+		Workers:  workers,
 	})
 	c.tLow, c.tHigh = tb.lo, tb.hi
 
@@ -258,6 +267,7 @@ func TrainStore(data *points.Store, cfg Config) (*Classifier, error) {
 			Duration: time.Since(passStart),
 			Kernels:  passStats.Kernels(),
 			Items:    int64(data.Len()),
+			Workers:  workers,
 		})
 		t, qerr := stats.SortedQuantile(densities, cfg.P)
 		if qerr != nil {
@@ -288,6 +298,7 @@ func TrainStore(data *points.Store, cfg Config) (*Classifier, error) {
 		Threshold:       c.threshold,
 		BootstrapRounds: tb.rounds,
 		TrainKernels:    trainKernels,
+		Workers:         workers,
 		GridEnabled:     c.grid != nil,
 		Phases:          phases,
 	}
@@ -315,7 +326,7 @@ func assemble(data *points.Store, cfg Config) (*Classifier, error) {
 	if err != nil {
 		return nil, err
 	}
-	tree, err := kdtree.Build(data, kdtree.Options{LeafSize: cfg.LeafSize, Split: cfg.Split})
+	tree, err := kdtree.Build(data, kdtree.Options{LeafSize: cfg.LeafSize, Split: cfg.Split, Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -336,7 +347,7 @@ func assemble(data *points.Store, cfg Config) (*Classifier, error) {
 		return newDensityEstimator(c.tree, c.kern, cfg.DisableThresholdRule, cfg.DisableToleranceRule)
 	}
 	if !cfg.DisableGrid && c.dim <= cfg.MaxGridDim {
-		g, err := grid.New(data, h)
+		g, err := grid.NewWorkers(data, h, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -346,16 +357,23 @@ func assemble(data *points.Store, cfg Config) (*Classifier, error) {
 	return c, nil
 }
 
-// effectiveWorkers returns the worker count batch passes fan out to: the
+// effectiveWorkers returns the worker count fan-out paths use: the
 // configured value clamped to a small multiple of GOMAXPROCS so a
 // misconfigured Workers can't spawn thousands of goroutines. Values
-// below 2 mean single-threaded.
-func (c *Classifier) effectiveWorkers() int {
-	w := c.cfg.Workers
+// below 2 mean single-threaded. It governs every parallel stage in the
+// stack — ClassifyAll batches, the threshold-refinement density pass,
+// bootstrap scoring, k-d tree construction, and the grid fill.
+func effectiveWorkers(w int) int {
 	if limit := runtime.GOMAXPROCS(0) * 4; w > limit {
 		w = limit
 	}
 	return w
+}
+
+// effectiveWorkers is the classifier-side view of the package function,
+// reading the trained configuration.
+func (c *Classifier) effectiveWorkers() int {
+	return effectiveWorkers(c.cfg.Workers)
 }
 
 // trainingDensities scores every training point against threshold bounds
@@ -630,6 +648,14 @@ func (c *Classifier) SetRecorder(r telemetry.Recorder) {
 	}
 	c.rec = r
 }
+
+// SetWorkers replaces the classifier's worker budget (Config.Workers):
+// the fan-out of ClassifyAll and of any retrain that inherits this
+// model's configuration. A Load-ed snapshot carries the training
+// machine's Workers, so serving hosts call this to adopt their own
+// parallelism. Like SetRecorder it is serving wiring, not model state,
+// and must not be called concurrently with queries.
+func (c *Classifier) SetWorkers(w int) { c.cfg.Workers = w }
 
 // TreeStats reports the shape of the spatial index (node and leaf
 // counts, maximum depth) — the denominator for interpreting the

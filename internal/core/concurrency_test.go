@@ -47,3 +47,65 @@ func TestConcurrentQueries(t *testing.T) {
 		t.Fatalf("Queries = %d, want %d", got, goroutines*(200+4))
 	}
 }
+
+// TestParallelTrainWhileServingHammer retrains with Workers=8 while an
+// existing classifier serves queries — the streaming retrain shape. Run
+// with -race: it exercises the level-parallel tree build, concurrent
+// bootstrap scoring, parallel grid fill, and fanned-out refinement pass
+// against live traffic, and checks every rebuilt model is bit-identical
+// to the serving one.
+func TestParallelTrainWhileServingHammer(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	data := gauss2D(rng, 1500)
+	cfg := testConfig()
+	cfg.Workers = 8
+	serving, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	errs := make(chan error, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := []float64{r.NormFloat64() * 3, r.NormFloat64() * 3}
+				if _, err := serving.Score(q); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(g))
+	}
+
+	retrains := 3
+	if testing.Short() {
+		retrains = 1
+	}
+	for i := 0; i < retrains; i++ {
+		clf, err := Train(data, cfg)
+		if err != nil {
+			close(stop)
+			t.Fatal(err)
+		}
+		if clf.Threshold() != serving.Threshold() {
+			close(stop)
+			t.Fatalf("retrain %d: threshold %.17g, serving model %.17g", i, clf.Threshold(), serving.Threshold())
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

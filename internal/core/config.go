@@ -84,9 +84,13 @@ type Config struct {
 	// fully deterministic for a fixed seed.
 	Seed int64
 
-	// Workers sets the number of goroutines used by ClassifyAll and by
-	// the training density pass; values below 2 mean single-threaded,
-	// matching the paper's prototype.
+	// Workers sets the goroutine budget for every fan-out in the stack:
+	// ClassifyAll batches on the serving side, and the whole training
+	// pipeline — k-d tree construction, bootstrap scoring (Algorithm 3),
+	// the hypergrid fill, and the threshold-refinement density pass.
+	// Trained models are bit-identical at any worker count. Values below
+	// 2 mean single-threaded, matching the paper's prototype; the count
+	// is clamped to a small multiple of GOMAXPROCS.
 	Workers int
 
 	// Recorder receives per-query telemetry samples (latency, kernel

@@ -56,9 +56,13 @@ type goldenFixture struct {
 }
 
 func computeGolden(t *testing.T) goldenFixture {
+	return computeGoldenWith(t, goldenConfig())
+}
+
+func computeGoldenWith(t *testing.T, cfg Config) goldenFixture {
 	t.Helper()
 	data, queries := goldenDataset()
-	clf, err := Train(data, goldenConfig())
+	clf, err := Train(data, cfg)
 	if err != nil {
 		t.Fatalf("Train: %v", err)
 	}
@@ -102,6 +106,26 @@ func TestGoldenDeterminism(t *testing.T) {
 		t.Logf("wrote %s", path)
 		return
 	}
+	compareToFixture(t, got, path)
+}
+
+// TestGoldenDeterminismParallel re-derives the fixture with Workers = 4:
+// the parallel training pipeline — level-parallel tree build, concurrent
+// bootstrap scoring, parallel grid fill, fanned-out refinement pass —
+// must reproduce the sequential model bit-for-bit.
+func TestGoldenDeterminismParallel(t *testing.T) {
+	if *updateGolden {
+		t.Skip("fixture is written by TestGoldenDeterminism")
+	}
+	cfg := goldenConfig()
+	cfg.Workers = 4
+	got := computeGoldenWith(t, cfg)
+	compareToFixture(t, got, filepath.Join("testdata", "golden.json"))
+}
+
+// compareToFixture checks a computed fixture against the committed one.
+func compareToFixture(t *testing.T, got goldenFixture, path string) {
+	t.Helper()
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("read fixture (regenerate with -update-golden): %v", err)

@@ -142,3 +142,51 @@ func TestLoadRejectsWrongVersion(t *testing.T) {
 		t.Fatalf("future version error = %v, want unsupported-version", err)
 	}
 }
+
+// TestSaveLoadParallelBitIdentical trains the same data sequentially and
+// with Workers=4, and checks the two models — and a save/load round trip
+// of the parallel one (Load rebuilds the index and grid through the same
+// parallel path) — agree on every score bit-for-bit.
+func TestSaveLoadParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	data := gauss2D(rng, 1500)
+	seq, err := Train(data, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Workers = 4
+	par, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Threshold() != par.Threshold() {
+		t.Fatalf("threshold: sequential %.17g, parallel %.17g", seq.Threshold(), par.Threshold())
+	}
+
+	var buf bytes.Buffer
+	if err := par.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.TrainStats().Workers; got != 4 {
+		t.Fatalf("loaded TrainStats.Workers = %d, want 4", got)
+	}
+	for trial := 0; trial < 200; trial++ {
+		q := []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+		a, err := seq.Score(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Score(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Label != b.Label || a.Lower != b.Lower || a.Upper != b.Upper {
+			t.Fatalf("query %d: sequential %+v, parallel-loaded %+v", trial, a, b)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"tkdc/internal/kdtree"
@@ -31,9 +32,21 @@ type thresholdBound struct {
 // evaluation on the next, larger subsample cheap, because the pruning
 // rules of Algorithm 2 can fire. Bounds that turn out invalid for the
 // larger sample are multiplicatively backed off and the round retried.
+//
+// Each round's score loop fans the sample rows out across
+// cfg.Workers goroutines with one private densityEstimator per worker.
+// Sampling (the only RNG consumer) stays sequential and each worker
+// writes disjoint density slots, so the bounds are bit-identical to a
+// single-threaded run; per-worker QueryStats are summed afterwards,
+// which is order-independent because the counters are plain sums.
 func boundThreshold(data *points.Store, cfg Config, rng *rand.Rand) (thresholdBound, error) {
 	n := data.Len()
 	res := thresholdBound{lo: 0, hi: math.Inf(1)}
+	workers := effectiveWorkers(cfg.Workers)
+	spanWorkers := workers
+	if spanWorkers < 1 {
+		spanWorkers = 1
+	}
 
 	r := cfg.R0
 	if r > n {
@@ -41,6 +54,10 @@ func boundThreshold(data *points.Store, cfg Config, rng *rand.Rand) (thresholdBo
 	}
 	const maxRetriesPerRound = 25
 	retries := 0
+	// densities is reused across rounds: sEff only grows (up to S0), so
+	// the buffer settles after a few rounds instead of reallocating per
+	// round.
+	var densities []float64
 	for {
 		res.rounds++
 		roundStart := time.Now()
@@ -55,11 +72,10 @@ func boundThreshold(data *points.Store, cfg Config, rng *rand.Rand) (thresholdBo
 		if err != nil {
 			return res, err
 		}
-		tree, err := kdtree.Build(xr, kdtree.Options{LeafSize: cfg.LeafSize, Split: cfg.Split})
+		tree, err := kdtree.Build(xr, kdtree.Options{LeafSize: cfg.LeafSize, Split: cfg.Split, Workers: cfg.Workers})
 		if err != nil {
 			return res, fmt.Errorf("core: threshold bootstrap index: %w", err)
 		}
-		est := newDensityEstimator(tree, kern, cfg.DisableThresholdRule, cfg.DisableToleranceRule)
 
 		sEff := cfg.S0
 		if sEff > r {
@@ -74,10 +90,45 @@ func boundThreshold(data *points.Store, cfg Config, rng *rand.Rand) (thresholdBo
 		// target stays ε·t in corrected space.
 		selfContrib := kern.AtZero() / float64(r)
 		tolCut := cfg.Epsilon * math.Max(res.lo, 0)
-		densities := make([]float64, sEff)
-		for i := 0; i < sEff; i++ {
-			fl, fu := est.boundDensity(xs.Row(i), res.lo+selfContrib, res.hi+selfContrib, tolCut, &res.queries)
-			densities[i] = 0.5*(fl+fu) - selfContrib
+		if cap(densities) < sEff {
+			densities = make([]float64, sEff)
+		}
+		densities = densities[:sEff]
+		newEst := func() *densityEstimator {
+			return newDensityEstimator(tree, kern, cfg.DisableThresholdRule, cfg.DisableToleranceRule)
+		}
+		scoreRange := func(est *densityEstimator, lo, hi int, qs *QueryStats) {
+			for i := lo; i < hi; i++ {
+				fl, fu := est.boundDensity(xs.Row(i), res.lo+selfContrib, res.hi+selfContrib, tolCut, qs)
+				densities[i] = 0.5*(fl+fu) - selfContrib
+			}
+		}
+		if workers < 2 || sEff < 2*workers {
+			scoreRange(newEst(), 0, sEff, &res.queries)
+		} else {
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			chunk := (sEff + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				lo := w * chunk
+				if lo >= sEff {
+					break
+				}
+				hi := lo + chunk
+				if hi > sEff {
+					hi = sEff
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					var qs QueryStats
+					scoreRange(newEst(), lo, hi, &qs)
+					mu.Lock()
+					res.queries.add(qs)
+					mu.Unlock()
+				}(lo, hi)
+			}
+			wg.Wait()
 		}
 		sort.Float64s(densities)
 
@@ -86,6 +137,7 @@ func boundThreshold(data *points.Store, cfg Config, rng *rand.Rand) (thresholdBo
 			Duration: time.Since(roundStart),
 			Kernels:  res.queries.Kernels() - kernelsBefore,
 			Items:    int64(r),
+			Workers:  spanWorkers,
 		})
 
 		l, u, err := stats.QuantileCIIndices(sEff, cfg.P, cfg.Delta)

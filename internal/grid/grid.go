@@ -1,7 +1,9 @@
 // Package grid implements tKDC's hypergrid inlier cache (Section 3.7 of
 // the paper): a d-dimensional grid with cell edges equal to the kernel
 // bandwidth. A single pass over the dataset counts the points in each
-// cell; at query time, a cell count G large enough that
+// cell (fanned out across goroutines by NewWorkers, with per-worker
+// partial maps merged into the same totals); at query time, a cell
+// count G large enough that
 //
 //	G/n · K_H(d_diag) > threshold
 //
@@ -16,6 +18,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"tkdc/internal/points"
@@ -39,6 +43,16 @@ type Grid struct {
 // cell widths (the paper sets them equal to the bandwidths). All widths
 // must be positive and finite.
 func New(pts *points.Store, cellWidths []float64) (*Grid, error) {
+	return NewWorkers(pts, cellWidths, 1)
+}
+
+// NewWorkers builds the same grid as New, filling the per-cell counts
+// with the given number of goroutines: each worker counts a contiguous
+// row range into a private map and the partials are merged afterwards.
+// Cell counts are sums, so the merged map is identical to a sequential
+// fill at any worker count. Values below 2 fill single-threaded; the
+// count is clamped to a small multiple of GOMAXPROCS.
+func NewWorkers(pts *points.Store, cellWidths []float64, workers int) (*Grid, error) {
 	if pts.Len() == 0 {
 		return nil, errors.New("grid: no points")
 	}
@@ -63,12 +77,53 @@ func New(pts *points.Store, cellWidths []float64) (*Grid, error) {
 	for i, w := range cellWidths {
 		g.inv[i] = 1 / w
 	}
-	buf := make([]byte, 8*d)
-	flat := pts.Data
-	for off := 0; off < len(flat); off += d {
-		g.counts[string(g.key(flat[off:off+d], buf))]++
+	n := pts.Len()
+	if limit := runtime.GOMAXPROCS(0) * 4; workers > limit {
+		workers = limit
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 2 {
+		g.countRange(g.counts, pts.Data)
+		return g, nil
+	}
+	partials := make([]map[string]int, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			m := make(map[string]int, (hi-lo)/4)
+			g.countRange(m, pts.Data[lo*d:hi*d])
+			partials[w] = m
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, m := range partials {
+		for k, v := range m {
+			g.counts[k] += v
+		}
 	}
 	return g, nil
+}
+
+// countRange folds the rows of one flat slab into counts.
+func (g *Grid) countRange(counts map[string]int, flat []float64) {
+	d := len(g.inv)
+	buf := make([]byte, 8*d)
+	for off := 0; off < len(flat); off += d {
+		counts[string(g.key(flat[off:off+d], buf))]++
+	}
 }
 
 // key encodes the cell coordinates of x into buf and returns it.

@@ -222,3 +222,41 @@ func TestObserveCounters(t *testing.T) {
 		t.Fatalf("concurrent counters = (%d, %d), want (%d, %d)", h, m, 2+4*500, 1+4*500)
 	}
 }
+
+// TestNewWorkersMatchesSequential checks the parallel fill produces the
+// exact same cell-count map as the sequential one across worker counts
+// — including counts above the chunk boundaries (duplicate-heavy rows).
+func TestNewWorkersMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{1, 3, 100, 2377} {
+		for _, d := range []int{1, 2, 3} {
+			pts := points.New(n, d)
+			for i := range pts.Data {
+				// Discretized draws so many rows share cells across chunks.
+				pts.Data[i] = float64(rng.Intn(6)) * 0.7
+			}
+			widths := make([]float64, d)
+			for j := range widths {
+				widths[j] = 0.5 + rng.Float64()
+			}
+			ref, err := New(pts, widths)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{2, 4, 7} {
+				g, err := NewWorkers(pts, widths, w)
+				if err != nil {
+					t.Fatalf("NewWorkers(n=%d d=%d w=%d): %v", n, d, w, err)
+				}
+				if len(g.counts) != len(ref.counts) {
+					t.Fatalf("n=%d d=%d w=%d: %d cells, sequential %d", n, d, w, len(g.counts), len(ref.counts))
+				}
+				for k, v := range ref.counts {
+					if g.counts[k] != v {
+						t.Fatalf("n=%d d=%d w=%d: cell count %d, sequential %d", n, d, w, g.counts[k], v)
+					}
+				}
+			}
+		}
+	}
+}

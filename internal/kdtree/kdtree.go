@@ -22,6 +22,16 @@
 // callers that prefer recursive traversal over index arithmetic; its
 // Min/Max slices alias the arena's box slab.
 //
+// Construction is level-synchronized BFS: the nodes of one depth occupy
+// a contiguous id range, and expanding a node — computing its bounding
+// box and partitioning its rows — touches only that node's own row
+// range, box slot, and result slot. With Options.Workers ≥ 2 the
+// expansions of a level therefore run concurrently; only the child
+// append, which assigns arena ids, is serialized in id order. Every
+// split is a deterministic function of the node's row range, so the
+// arena slabs and the reordered point buffer are bit-identical at any
+// worker count.
+//
 // Two split rules are provided. The paper's default for tKDC is the
 // "equi-width" trimmed midpoint — split at (x⁽¹⁰⁾ + x⁽⁹⁰⁾)/2, the midpoint
 // of the 10th and 90th percentiles along the cycling axis — which
@@ -34,8 +44,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"tkdc/internal/points"
 )
@@ -74,6 +86,11 @@ type Options struct {
 	LeafSize int
 	// Split selects the partitioning rule.
 	Split SplitRule
+	// Workers fans each BFS level's node expansions out across this many
+	// goroutines. The built tree is bit-identical at any worker count;
+	// values below 2 build single-threaded, and the count is clamped to
+	// a small multiple of GOMAXPROCS.
+	Workers int
 }
 
 // NoChild marks a leaf in NodeMeta.Left/Right.
@@ -317,47 +334,115 @@ func Build(pts *points.Store, opts Options) (*Tree, error) {
 	if capGuess < 1 {
 		capGuess = 1
 	}
-	t.Meta = make([]NodeMeta, 0, capGuess)
+	t.Meta = make([]NodeMeta, 1, capGuess)
+	t.Meta[0] = NodeMeta{Lo: 0, Hi: int32(t.Size), Left: NoChild, Right: NoChild}
 	t.Boxes = make([]float64, 0, capGuess*2*t.Dim)
 
-	// BFS construction: nodes enter the arena in the order they are
-	// created, so id order is breadth-first and a parent's children sit
-	// 2·(pending siblings) slots away — adjacent levels share cache
-	// lines. The queue holds ids awaiting expansion alongside their
-	// depth (which drives the axis cycle); because ids are created in
-	// BFS order the queue is just a cursor over the arena.
-	t.Meta = append(t.Meta, NodeMeta{Lo: 0, Hi: int32(t.Size), Left: NoChild, Right: NoChild})
-	depths := make([]int32, 1, capGuess)
-	t.stats.MaxDepth = 1
+	// Level-synchronized BFS: nodes enter the arena in the order they
+	// are created, so id order is breadth-first and each depth occupies
+	// the contiguous id range [lvlStart, lvlEnd). Expanding the nodes of
+	// a level (boxes + row partitions) touches disjoint state per node
+	// and fans out across workers; appending the resulting children —
+	// the only id-assigning step — happens afterwards in id order, which
+	// reproduces the sequential arena exactly.
+	workers := buildWorkers(opts.Workers)
+	var mids []int32
+	for lvlStart, depth := 0, 0; lvlStart < len(t.Meta); depth++ {
+		lvlEnd := len(t.Meta)
+		t.stats.MaxDepth = depth + 1
+		// Extend the box slab to cover the level up front: node id's box
+		// lives at the fixed offset id·2d, so workers write disjoint
+		// regions of the grown slab.
+		t.Boxes = append(t.Boxes, make([]float64, (lvlEnd-lvlStart)*2*t.Dim)...)
+		if cap(mids) < lvlEnd-lvlStart {
+			mids = make([]int32, lvlEnd-lvlStart)
+		}
+		mids = mids[:lvlEnd-lvlStart]
+		t.expandLevel(lvlStart, lvlEnd, depth, workers, mids)
 
-	for id := 0; id < len(t.Meta); id++ {
-		lo, hi := int(t.Meta[id].Lo), int(t.Meta[id].Hi)
-		depth := int(depths[id])
-		t.appendBox(lo, hi)
-		if depth+1 > t.stats.MaxDepth {
-			t.stats.MaxDepth = depth + 1
+		for id := lvlStart; id < lvlEnd; id++ {
+			mid := mids[id-lvlStart]
+			if mid < 0 {
+				continue
+			}
+			left := int32(len(t.Meta))
+			t.Meta = append(t.Meta,
+				NodeMeta{Lo: t.Meta[id].Lo, Hi: mid, Left: NoChild, Right: NoChild},
+				NodeMeta{Lo: mid, Hi: t.Meta[id].Hi, Left: NoChild, Right: NoChild},
+			)
+			t.Meta[id].Left = left
+			t.Meta[id].Right = left + 1
 		}
-
-		if hi-lo <= opts.LeafSize {
-			continue
-		}
-		mid, ok := t.splitRange(id, lo, hi, depth)
-		if !ok {
-			continue
-		}
-		left := int32(len(t.Meta))
-		t.Meta = append(t.Meta,
-			NodeMeta{Lo: int32(lo), Hi: int32(mid), Left: NoChild, Right: NoChild},
-			NodeMeta{Lo: int32(mid), Hi: int32(hi), Left: NoChild, Right: NoChild},
-		)
-		depths = append(depths, int32(depth+1), int32(depth+1))
-		t.Meta[id].Left = left
-		t.Meta[id].Right = left + 1
+		lvlStart = lvlEnd
 	}
 	t.stats.Nodes = len(t.Meta)
 	t.stats.Leaves = (len(t.Meta) + 1) / 2
 
 	return t, nil
+}
+
+// buildWorkers clamps the configured build fan-out to a small multiple
+// of GOMAXPROCS (a misconfigured Workers must not spawn thousands of
+// goroutines per level); values below 2 mean single-threaded.
+func buildWorkers(w int) int {
+	if limit := runtime.GOMAXPROCS(0) * 4; w > limit {
+		w = limit
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// expandLevel expands every node of one BFS level: mids[i] receives the
+// partition boundary of node lvlStart+i, or -1 when it stays a leaf.
+// Each expansion reads and writes only its node's row range, box slot,
+// and mids slot, so the level fans out across workers with a shared
+// atomic cursor (node costs are skewed — an equi-width level can pair a
+// huge node with near-empty siblings — so static chunking would idle
+// workers).
+func (t *Tree) expandLevel(lvlStart, lvlEnd, depth, workers int, mids []int32) {
+	n := lvlEnd - lvlStart
+	if workers > n {
+		workers = n
+	}
+	if workers < 2 {
+		for i := 0; i < n; i++ {
+			mids[i] = t.expandOne(lvlStart+i, depth)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				mids[i] = t.expandOne(lvlStart+i, depth)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// expandOne computes node id's bounding box and, when the node splits,
+// partitions its rows, returning the boundary row (-1 for a leaf).
+func (t *Tree) expandOne(id, depth int) int32 {
+	lo, hi := int(t.Meta[id].Lo), int(t.Meta[id].Hi)
+	t.fillBox(id, lo, hi)
+	if hi-lo <= t.Opts.LeafSize {
+		return -1
+	}
+	mid, ok := t.splitRange(id, lo, hi, depth)
+	if !ok {
+		return -1
+	}
+	return int32(mid)
 }
 
 // splitRange selects the axis and partitions rows [lo, hi) for node id,
@@ -455,12 +540,11 @@ func (t *Tree) partition(lo, hi, dim int, split float64) int {
 	return i
 }
 
-// appendBox computes the tight bounding box of rows [lo, hi) and appends
-// it (Min then Max) to the box slab.
-func (t *Tree) appendBox(lo, hi int) {
+// fillBox computes the tight bounding box of rows [lo, hi) and writes it
+// (Min then Max) into node id's slot of the pre-extended box slab.
+func (t *Tree) fillBox(id, lo, hi int) {
 	d := t.Dim
-	off := len(t.Boxes)
-	t.Boxes = append(t.Boxes, make([]float64, 2*d)...)
+	off := id * 2 * d
 	bmin := t.Boxes[off : off+d]
 	bmax := t.Boxes[off+d : off+2*d]
 	copy(bmin, t.Pts.Row(lo))

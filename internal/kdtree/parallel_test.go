@@ -1,0 +1,124 @@
+package kdtree
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tkdc/internal/points"
+)
+
+// duplicateHeavyPoints builds a store where many rows collide exactly —
+// the input that drives splitRange into its sort-based duplicate
+// fallback, the trickiest path to reproduce bit-identically.
+func duplicateHeavyPoints(rng *rand.Rand, n, d int) *points.Store {
+	pts := points.New(n, d)
+	for i := 0; i < n; i++ {
+		row := pts.Row(i)
+		for j := range row {
+			// Coordinates drawn from a handful of discrete values.
+			row[j] = float64(rng.Intn(4))
+		}
+	}
+	return pts
+}
+
+// TestParallelBuildBitIdentical is the parallel-construction property
+// test: across split rules, leaf sizes, dimensionalities, dataset
+// shapes, and worker counts, Build must produce byte-identical NodeMeta
+// and box slabs — and an identically reordered point buffer — as the
+// single-threaded build.
+func TestParallelBuildBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	type gen struct {
+		name string
+		mk   func(n, d int) *points.Store
+	}
+	gens := []gen{
+		{"gauss", func(n, d int) *points.Store { return randomPoints(rng, n, d) }},
+		{"dupes", func(n, d int) *points.Store { return duplicateHeavyPoints(rng, n, d) }},
+	}
+	for _, split := range []SplitRule{SplitEquiWidth, SplitMedian} {
+		for _, leaf := range []int{1, 4, 32} {
+			for _, n := range []int{1, 7, 100, 1500} {
+				for _, d := range []int{1, 2, 3} {
+					for _, g := range gens {
+						pts := g.mk(n, d)
+						ref, err := Build(pts, Options{LeafSize: leaf, Split: split, Workers: 1})
+						if err != nil {
+							t.Fatalf("sequential Build(%s split=%v leaf=%d n=%d d=%d): %v", g.name, split, leaf, n, d, err)
+						}
+						for _, w := range []int{2, 4, 7} {
+							name := fmt.Sprintf("%s/split=%v/leaf=%d/n=%d/d=%d/w=%d", g.name, split, leaf, n, d, w)
+							got, err := Build(pts, Options{LeafSize: leaf, Split: split, Workers: w})
+							if err != nil {
+								t.Fatalf("%s: %v", name, err)
+							}
+							compareTrees(t, name, ref, got)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// compareTrees asserts got's arena slabs, reordered buffer, and stats
+// are exactly equal to ref's.
+func compareTrees(t *testing.T, name string, ref, got *Tree) {
+	t.Helper()
+	if !reflect.DeepEqual(ref.Meta, got.Meta) {
+		t.Fatalf("%s: NodeMeta slab differs from sequential build", name)
+	}
+	if len(ref.Boxes) != len(got.Boxes) {
+		t.Fatalf("%s: box slab length %d, sequential %d", name, len(got.Boxes), len(ref.Boxes))
+	}
+	for i := range ref.Boxes {
+		if ref.Boxes[i] != got.Boxes[i] {
+			t.Fatalf("%s: box slab[%d] = %v, sequential %v", name, i, got.Boxes[i], ref.Boxes[i])
+		}
+	}
+	for i := range ref.Pts.Data {
+		if ref.Pts.Data[i] != got.Pts.Data[i] {
+			t.Fatalf("%s: reordered buffer[%d] = %v, sequential %v", name, i, got.Pts.Data[i], ref.Pts.Data[i])
+		}
+	}
+	if ref.Stats() != got.Stats() {
+		t.Fatalf("%s: stats %+v, sequential %+v", name, got.Stats(), ref.Stats())
+	}
+}
+
+// TestParallelBuildClampsWorkers makes sure an absurd worker count is
+// clamped rather than spawning a goroutine army, and still builds the
+// same tree.
+func TestParallelBuildClampsWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randomPoints(rng, 500, 2)
+	ref, err := Build(pts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Build(pts, Options{Workers: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareTrees(t, "clamped", ref, got)
+}
+
+// BenchmarkBuildWorkers pins the parallel construction cost at the
+// worker counts the BENCH_train.json baseline tracks.
+func BenchmarkBuildWorkers(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	pts := randomPoints(rng, 100_000, 2)
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(pts, Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

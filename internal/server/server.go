@@ -401,6 +401,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeGauge("tkdc_model_age_seconds", time.Since(born).Seconds())
 	writeGauge("tkdc_train_kernels_total", ts.TrainKernels)
 	writeGauge("tkdc_train_bootstrap_rounds", ts.BootstrapRounds)
+	writeGauge("tkdc_train_workers", ts.Workers)
+	if len(ts.Phases) > 0 {
+		fmt.Fprintf(&b, "# TYPE tkdc_train_phase_workers gauge\n")
+		for _, sp := range ts.Phases {
+			fmt.Fprintf(&b, "tkdc_train_phase_workers{phase=%q} %d\n", sp.Name, sp.Workers)
+		}
+	}
 	writeGauge("tkdc_tree_nodes", tree.Nodes)
 	writeGauge("tkdc_tree_leaves", tree.Leaves)
 	writeGauge("tkdc_tree_max_depth", tree.MaxDepth)

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -87,5 +88,33 @@ func BenchmarkIngest(b *testing.B) {
 		if _, err := ing.Add(batch); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkIngestBatch measures the per-batch cost of Add across batch
+// sizes — the lock is taken once per batch, and validation now runs
+// before it, so this watches the critical-section cost the ROADMAP's
+// sharded-ingest work will shard. ns/row is reported alongside ns/op.
+func BenchmarkIngestBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for _, batch := range []int{1, 64, 1024} {
+		rows := make([][]float64, batch)
+		for i := range rows {
+			rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		}
+		b.Run(fmt.Sprintf("rows=%d", batch), func(b *testing.B) {
+			ing, err := NewIngestor(10_000, 2, 1, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ing.Add(rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/row")
+		})
 	}
 }

@@ -77,21 +77,27 @@ func NewIngestor(capacity, dim int, seed int64, window bool) (*Ingestor, error) 
 // Add ingests a batch of rows. The batch is validated in full first —
 // consistent dimensionality, finite coordinates — and rejected whole on
 // the first bad row, mirroring the /classify request semantics; nothing
-// is ingested on error. Returns the number of rows ingested.
+// is ingested on error. Validation runs before the ingest lock is taken,
+// so a malformed (or merely large) batch never stalls concurrent
+// ingesters while it is being checked. Returns the number of rows
+// ingested.
 func (i *Ingestor) Add(rows [][]float64) (int, error) {
-	i.mu.Lock()
-	defer i.mu.Unlock()
-	dim := i.dim
+	if len(rows) == 0 {
+		return 0, nil
+	}
+	dim := i.Dim()
+	if dim == 0 {
+		dim = len(rows[0])
+	}
 	for r, row := range rows {
-		if dim == 0 {
-			dim = len(row)
-		}
 		if err := checkRow(row, dim, r); err != nil {
 			return 0, err
 		}
 	}
-	if len(rows) == 0 {
-		return 0, nil
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if err := i.checkDim(dim); err != nil {
+		return 0, err
 	}
 	for _, row := range rows {
 		i.ingestRow(row)
@@ -108,13 +114,20 @@ func (i *Ingestor) AddFlat(flat []float64, dim int) (int, error) {
 	if len(flat)%dim != 0 {
 		return 0, fmt.Errorf("stream: buffer length %d is not a multiple of dimension %d", len(flat), dim)
 	}
-	i.mu.Lock()
-	defer i.mu.Unlock()
+	want := i.Dim()
+	if want == 0 {
+		want = dim
+	}
 	n := len(flat) / dim
 	for r := 0; r < n; r++ {
-		if err := checkRow(flat[r*dim:(r+1)*dim], i.dimOr(dim), r); err != nil {
+		if err := checkRow(flat[r*dim:(r+1)*dim], want, r); err != nil {
 			return 0, err
 		}
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if err := i.checkDim(dim); err != nil {
+		return 0, err
 	}
 	for r := 0; r < n; r++ {
 		i.ingestRow(flat[r*dim : (r+1)*dim])
@@ -122,13 +135,14 @@ func (i *Ingestor) AddFlat(flat []float64, dim int) (int, error) {
 	return n, nil
 }
 
-// dimOr returns the fixed dimensionality, or fallback before the first
-// row has fixed it. Callers hold i.mu.
-func (i *Ingestor) dimOr(fallback int) int {
-	if i.dim > 0 {
-		return i.dim
+// checkDim re-verifies, under i.mu, that a batch validated outside the
+// lock still matches the ingestor's row width — a concurrent first batch
+// may have fixed the dimensionality in between. Callers hold i.mu.
+func (i *Ingestor) checkDim(dim int) error {
+	if i.dim != 0 && i.dim != dim {
+		return fmt.Errorf("stream: batch has dimension %d, want %d", dim, i.dim)
 	}
-	return fallback
+	return nil
 }
 
 func checkRow(row []float64, dim, idx int) error {

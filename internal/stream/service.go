@@ -47,7 +47,10 @@ type Config struct {
 
 	// Train configures retrains. The zero value inherits the initial
 	// classifier's configuration, which keeps retrained models directly
-	// comparable to the model they replace.
+	// comparable to the model they replace. Config.Workers flows through
+	// here: background retrains fan the tree build, bootstrap scoring,
+	// and grid fill out over the same worker budget the initial training
+	// used.
 	Train core.Config
 
 	// Prefill seeds the sample with the initial classifier's training

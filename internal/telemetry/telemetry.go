@@ -60,11 +60,19 @@ type Span struct {
 	// Items counts the phase's work items: sample rows scored, points
 	// indexed.
 	Items int64
+	// Workers is the goroutine budget the phase ran with (1 when
+	// single-threaded, 0 for phases that predate the field or have no
+	// fan-out).
+	Workers int
 }
 
 // String renders the span as one trace line.
 func (s Span) String() string {
-	return fmt.Sprintf("%-22s %12v  kernels=%-10d items=%d", s.Name, s.Duration.Round(time.Microsecond), s.Kernels, s.Items)
+	line := fmt.Sprintf("%-22s %12v  kernels=%-10d items=%d", s.Name, s.Duration.Round(time.Microsecond), s.Kernels, s.Items)
+	if s.Workers > 0 {
+		line += fmt.Sprintf("  workers=%d", s.Workers)
+	}
+	return line
 }
 
 // Recorder receives telemetry from the classification stack. Hot-path

@@ -25,8 +25,9 @@
 // tree, and a hypergrid inlier cache for d ≤ 4.
 //
 // The classifier is immutable once trained and safe for concurrent
-// queries; set Config.Workers to fan batch classification out over
-// goroutines.
+// queries; set Config.Workers to fan both training (tree construction,
+// bootstrap scoring, grid fill) and batch classification out over
+// goroutines. Trained models are bit-identical at every worker count.
 package tkdc
 
 import (
