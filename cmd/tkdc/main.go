@@ -59,6 +59,7 @@ func main() {
 		delta     = flag.Float64("delta", 0.01, "threshold bound failure probability")
 		bw        = flag.Float64("b", 1, "bandwidth scale factor (Scott's rule multiplier)")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "training and classification goroutines (models are bit-identical at any count)")
+		backend   = flag.String("backend", tkdc.BackendAuto, "density backend: auto (tree for d<=8, sampling above), tree, or sampling")
 		seed      = flag.Int64("seed", 42, "training seed")
 		density   = flag.Bool("density", false, "print density bounds alongside labels")
 		stats     = flag.Bool("stats", false, "print a post-run telemetry summary to stderr")
@@ -74,6 +75,10 @@ func main() {
 	flag.Parse()
 	if (*trainPath == "") == (*loadPath == "") {
 		fmt.Fprintln(os.Stderr, "tkdc: exactly one of -train or -load is required")
+		os.Exit(2)
+	}
+	if err := validateBackend(*backend); err != nil {
+		fmt.Fprintln(os.Stderr, "tkdc:", err)
 		os.Exit(2)
 	}
 
@@ -106,8 +111,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tkdc: -load requires -query or -serve")
 			os.Exit(2)
 		}
-		fmt.Fprintf(os.Stderr, "tkdc: loaded model (n=%d d=%d, threshold %.6g)\n",
-			clf.N(), clf.Dim(), clf.Threshold())
+		fmt.Fprintf(os.Stderr, "tkdc: loaded model (n=%d d=%d, threshold %.6g, backend %s)\n",
+			clf.N(), clf.Dim(), clf.Threshold(), clf.Backend())
 	} else {
 		data, err := readCSVFile(*trainPath)
 		if err != nil {
@@ -121,6 +126,7 @@ func main() {
 		cfg.Delta = *delta
 		cfg.BandwidthFactor = *bw
 		cfg.Workers = *workers
+		cfg.Backend = *backend
 		cfg.Seed = *seed
 		if reg != nil {
 			cfg.Recorder = reg
@@ -131,8 +137,8 @@ func main() {
 			fail(err)
 		}
 		ts := clf.TrainStats()
-		fmt.Fprintf(os.Stderr, "tkdc: trained on n=%d d=%d; threshold t(p=%g)=%.6g in [%.6g, %.6g]; %d bootstrap rounds; %d workers\n",
-			ts.N, ts.Dim, *p, ts.Threshold, ts.ThresholdLow, ts.ThresholdHigh, ts.BootstrapRounds, ts.Workers)
+		fmt.Fprintf(os.Stderr, "tkdc: trained on n=%d d=%d; threshold t(p=%g)=%.6g in [%.6g, %.6g]; %d bootstrap rounds; %d workers; %s backend\n",
+			ts.N, ts.Dim, *p, ts.Threshold, ts.ThresholdLow, ts.ThresholdHigh, ts.BootstrapRounds, ts.Workers, clf.Backend())
 		if *savePath != "" {
 			f, err := os.Create(*savePath)
 			if err != nil {
@@ -251,6 +257,17 @@ func newHTTPServer(addr string, h http.Handler) *http.Server {
 		ReadTimeout:       2 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
+}
+
+// validateBackend fails fast on an unknown -backend value, before any
+// CSV is read or training starts, listing the valid names.
+func validateBackend(name string) error {
+	for _, b := range tkdc.Backends() {
+		if name == b {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown -backend %q (valid: %s)", name, strings.Join(tkdc.Backends(), ", "))
 }
 
 // indent prefixes every line for the stderr telemetry block.

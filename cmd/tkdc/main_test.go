@@ -2,7 +2,10 @@ package main
 
 import (
 	"net/http"
+	"strings"
 	"testing"
+
+	"tkdc"
 )
 
 // TestHTTPServerTimeouts pins the serving-mode hardening: every tkdc
@@ -25,5 +28,30 @@ func TestHTTPServerTimeouts(t *testing.T) {
 	}
 	if srv.Addr != ":0" || srv.Handler == nil {
 		t.Fatal("newHTTPServer dropped the address or handler")
+	}
+}
+
+// TestValidateBackend pins the fail-fast contract of -backend: every
+// published name passes, anything else is rejected with an error that
+// lists the valid set.
+func TestValidateBackend(t *testing.T) {
+	for _, name := range tkdc.Backends() {
+		if err := validateBackend(name); err != nil {
+			t.Errorf("validateBackend(%q) = %v, want nil", name, err)
+		}
+	}
+	err := validateBackend("annoy")
+	if err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	for _, name := range tkdc.Backends() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list %q", err, name)
+		}
+	}
+	// The empty string is the library's "unset" sentinel; the flag has a
+	// real default, so the CLI treats empty as a user mistake.
+	if validateBackend("") == nil {
+		t.Error("empty -backend accepted")
 	}
 }

@@ -14,8 +14,10 @@ import (
 
 // boundBenchState is one per-dimension benchmark fixture: an index over
 // 50k Gaussian points and a threshold at the paper's default p=0.01
-// quantile, so boundDensity runs under realistic pruning pressure.
+// quantile, so the backends run under realistic pruning pressure.
 type boundBenchState struct {
+	tree    *kdtree.Tree
+	kern    kernel.Kernel
 	est     *densityEstimator
 	pts     *points.Store
 	t       float64
@@ -57,16 +59,19 @@ func newBoundBenchState(b *testing.B, d int) *boundBenchState {
 	if err != nil {
 		b.Fatal(err)
 	}
-	return &boundBenchState{est: est, pts: pts, t: t, queries: pts.Data, dim: d}
+	return &boundBenchState{tree: tree, kern: kern, est: est, pts: pts, t: t, queries: pts.Data, dim: d}
 }
 
 // BenchmarkBoundDensity measures the Algorithm 2 traversal in isolation
-// — no grid cache, no validation, no telemetry — across the paper's
-// dimensionality range. This is the direct probe for tree-layout and
-// bound-computation changes: each iteration is one priority-queue
-// traversal with fused box-distance bounds.
+// — no grid cache, no validation, no telemetry — across and beyond the
+// paper's dimensionality range. d=16 and d=32 sit past the tree's
+// pruning horizon (the traversal degenerates toward a full scan there);
+// they pin the cost the sampling backend exists to avoid. This is the
+// direct probe for tree-layout and bound-computation changes: each
+// iteration is one priority-queue traversal with fused box-distance
+// bounds.
 func BenchmarkBoundDensity(b *testing.B) {
-	for _, d := range []int{1, 2, 4, 8} {
+	for _, d := range []int{1, 2, 4, 8, 16, 32} {
 		d := d
 		b.Run(fmt.Sprintf("d%d", d), func(b *testing.B) {
 			st := newBoundBenchState(b, d)
@@ -80,5 +85,38 @@ func BenchmarkBoundDensity(b *testing.B) {
 			}
 			b.ReportMetric(float64(qs.NodesVisited)/float64(b.N), "nodes/op")
 		})
+	}
+}
+
+// BenchmarkBackendHeadToHead runs the tree and sampling backends over
+// the same fixtures, thresholds, and stopping rules, through the same
+// DensityBackend interface the classifier serves with. The crossover —
+// where sampling's bounded near phase plus O(maxSamples) far field
+// undercuts the tree's degenerating traversal — is recorded in
+// BENCH_core.json.
+func BenchmarkBackendHeadToHead(b *testing.B) {
+	for _, d := range []int{4, 8, 16, 32} {
+		d := d
+		var st *boundBenchState // shared by both backend runs at this d
+		for _, backend := range []string{BackendTree, BackendSampling} {
+			backend := backend
+			b.Run(fmt.Sprintf("d%d/%s", d, backend), func(b *testing.B) {
+				if st == nil || st.dim != d {
+					st = newBoundBenchState(b, d)
+				}
+				cfg := DefaultConfig()
+				cfg.Backend = backend
+				be := newQueryBackend(st.tree, st.kern, cfg)
+				n := st.pts.Len()
+				tolCut := 0.01 * st.t
+				var qs QueryStats
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					x := st.queries[(i%n)*d : (i%n)*d+d]
+					be.BoundDensity(x, st.t, st.t, tolCut, &qs)
+				}
+				b.ReportMetric(float64(qs.PointKernels)/float64(b.N), "pointkernels/op")
+			})
+		}
 	}
 }

@@ -38,24 +38,26 @@ func (l Label) String() string {
 	return "LOW"
 }
 
-// Result carries a classification together with the certified density
-// bounds it was derived from and the work performed.
+// Result carries a classification together with the density bounds it
+// was derived from and the work performed.
 type Result struct {
 	Label Label
-	// Lower and Upper bound the kernel density at the query point. When
-	// the grid cache answered, Lower is the grid bound and Upper is +Inf.
+	// Lower and Upper bound the kernel density at the query point —
+	// certified by the tree backend, probabilistic (≥ 1−δ) under the
+	// sampling backend. When the grid cache answered, Lower is the grid
+	// bound and Upper is +Inf.
 	Lower, Upper float64
-	Stats        QueryStats
+	// Density is the backend's point estimate of the density — the value
+	// the label was decided on. The tree backend reports the bound
+	// midpoint (fl+fu)/2; the sampling backend its unbiased split
+	// estimate; grid hits report the grid's lower bound.
+	Density float64
+	Stats   QueryStats
 }
 
-// Estimate returns the density point estimate (fl+fu)/2 used for
-// classification, or Lower when the upper bound is infinite (grid hits).
-func (r Result) Estimate() float64 {
-	if math.IsInf(r.Upper, 1) {
-		return r.Lower
-	}
-	return 0.5 * (r.Lower + r.Upper)
-}
+// Estimate returns the density point estimate the classification used
+// (see the Density field).
+func (r Result) Estimate() float64 { return r.Density }
 
 // Counters aggregates work across queries. Values are totals since Train.
 type Counters struct {
@@ -155,9 +157,10 @@ type TrainStats struct {
 // Classifier is a trained tKDC model. It is immutable after Train and
 // safe for concurrent queries.
 type Classifier struct {
-	cfg  Config
-	dim  int
-	data *points.Store
+	cfg     Config
+	dim     int
+	data    *points.Store
+	backend string // resolved backend tag (BackendTree or BackendSampling)
 
 	kern        kernel.Kernel
 	tree        *kdtree.Tree
@@ -338,13 +341,14 @@ func assemble(data *points.Store, cfg Config) (*Classifier, error) {
 		cfg:         cfg,
 		dim:         data.Dim,
 		data:        data,
+		backend:     resolveBackend(cfg.Backend, data.Dim),
 		kern:        kern,
 		tree:        tree,
 		selfContrib: kern.AtZero() / float64(data.Len()),
 		rec:         rec,
 	}
 	c.estPool.New = func() any {
-		return newDensityEstimator(c.tree, c.kern, cfg.DisableThresholdRule, cfg.DisableToleranceRule)
+		return newQueryBackend(c.tree, c.kern, cfg)
 	}
 	if !cfg.DisableGrid && c.dim <= cfg.MaxGridDim {
 		g, err := grid.NewWorkers(data, h, cfg.Workers)
@@ -428,7 +432,7 @@ func (c *Classifier) trainingDensities(tl, tu float64) ([]float64, QueryStats) {
 // their rank above any threshold inside the bootstrap bounds. The grid
 // bound is corrected for the point's self-contribution before comparing,
 // because the bootstrap bounds live in corrected-density space.
-func (c *Classifier) trainingDensityOne(est *densityEstimator, x []float64, tl, tu float64, qs *QueryStats) float64 {
+func (c *Classifier) trainingDensityOne(est DensityBackend, x []float64, tl, tu float64, qs *QueryStats) float64 {
 	if c.grid != nil && !math.IsInf(tu, 1) {
 		if lb := c.grid.LowerBoundDensity(x, c.gridKDiag) - c.selfContrib; lb > tu {
 			qs.GridHit = true
@@ -438,8 +442,8 @@ func (c *Classifier) trainingDensityOne(est *densityEstimator, x []float64, tl, 
 	// tl and tu bound the corrected quantile; pruning operates on plain
 	// densities, so shift by the self-contribution.
 	tolCut := c.cfg.Epsilon * math.Max(tl, 0)
-	fl, fu := est.boundDensity(x, tl+c.selfContrib, tu+c.selfContrib, tolCut, qs)
-	return 0.5*(fl+fu) - c.selfContrib
+	_, _, f := est.BoundDensity(x, tl+c.selfContrib, tu+c.selfContrib, tolCut, qs)
+	return f - c.selfContrib
 }
 
 // Classify labels one query point against the trained threshold.
@@ -481,10 +485,11 @@ func (c *Classifier) scoreChecked(x []float64) Result {
 				})
 			}
 			return Result{
-				Label: High,
-				Lower: lb,
-				Upper: math.Inf(1),
-				Stats: QueryStats{GridHit: true},
+				Label:   High,
+				Lower:   lb,
+				Upper:   math.Inf(1),
+				Density: lb,
+				Stats:   QueryStats{GridHit: true},
 			}
 		}
 		if traced {
@@ -494,7 +499,7 @@ func (c *Classifier) scoreChecked(x []float64) Result {
 
 	est := c.getEstimator()
 	var qs QueryStats
-	fl, fu := est.boundDensity(x, c.threshold, c.threshold, c.cfg.Epsilon*c.threshold, &qs)
+	fl, fu, f := est.BoundDensity(x, c.threshold, c.threshold, c.cfg.Epsilon*c.threshold, &qs)
 	c.putEstimator(est)
 	c.counters.add(1, 0, qs)
 	if traced {
@@ -508,10 +513,10 @@ func (c *Classifier) scoreChecked(x []float64) Result {
 	}
 
 	label := Low
-	if 0.5*(fl+fu) > c.threshold {
+	if f > c.threshold {
 		label = High
 	}
-	return Result{Label: label, Lower: fl, Upper: fu, Stats: qs}
+	return Result{Label: label, Lower: fl, Upper: fu, Density: f, Stats: qs}
 }
 
 // ClassifyAll labels a batch of query points, fanning out across
@@ -569,7 +574,7 @@ func (c *Classifier) DensityBounds(x []float64, rel float64) (fl, fu float64, er
 	}
 	est := c.getEstimator()
 	var qs QueryStats
-	fl, fu = est.estimateDensity(x, rel, &qs)
+	fl, fu, _ = est.EstimateDensity(x, rel, &qs)
 	c.putEstimator(est)
 	c.counters.add(1, 0, qs)
 	if traced {
@@ -604,6 +609,10 @@ func (c *Classifier) Dim() int { return c.dim }
 // loaded) with, defaults filled in. The streaming lifecycle uses it to
 // rebuild models with identical parameters.
 func (c *Classifier) Config() Config { return c.cfg }
+
+// Backend returns the resolved density backend tag (BackendTree or
+// BackendSampling — never BackendAuto, which resolves at assembly).
+func (c *Classifier) Backend() string { return c.backend }
 
 // TrainingData returns the classifier's flat training storage. The store
 // is shared, not copied — callers must treat it as read-only (the k-d
@@ -685,21 +694,16 @@ func (c *Classifier) checkQuery(x []float64) error {
 	return nil
 }
 
-func (c *Classifier) getEstimator() *densityEstimator {
-	return c.estPool.Get().(*densityEstimator)
+func (c *Classifier) getEstimator() DensityBackend {
+	return c.estPool.Get().(DensityBackend)
 }
 
-// maxPooledHeapItems caps the refine-heap capacity an estimator may
-// carry back into the pool. One pathological query (a dense region with
-// pruning disabled, say) can grow the heap to O(nodes); without the cap
-// that backing array would be pinned by the pool for the classifier's
-// lifetime and multiplied across every pooled estimator.
+// maxPooledHeapItems caps the refine-heap capacity a tree backend may
+// carry back into the pool (see densityEstimator.Recycle).
 const maxPooledHeapItems = 4096
 
-func (c *Classifier) putEstimator(e *densityEstimator) {
-	if cap(e.heap.items) > maxPooledHeapItems {
-		e.heap.items = nil
-	}
+func (c *Classifier) putEstimator(e DensityBackend) {
+	e.Recycle()
 	c.estPool.Put(e)
 }
 

@@ -53,6 +53,13 @@ type Config struct {
 	// Kernel selects the kernel family.
 	Kernel KernelFamily
 
+	// Backend selects the density-estimation engine: BackendAuto (pick
+	// by dimension — tree for d ≤ AutoTreeMaxDim, sampling above),
+	// BackendTree (the paper's certified k-d tree traversal), or
+	// BackendSampling (exact near field + seeded far-field sampling with
+	// probabilistic bounds). Empty means BackendAuto.
+	Backend string
+
 	// LeafSize caps k-d tree leaf occupancy (kdtree.DefaultLeafSize if 0).
 	LeafSize int
 	// Split selects the k-d tree split rule. The paper's tKDC default is
@@ -113,6 +120,7 @@ func DefaultConfig() Config {
 		Delta:           0.01,
 		BandwidthFactor: 1,
 		Kernel:          KernelGaussian,
+		Backend:         BackendAuto,
 		Split:           kdtree.SplitEquiWidth,
 		MaxGridDim:      4,
 		R0:              200,
@@ -126,6 +134,9 @@ func DefaultConfig() Config {
 // normalized returns a copy with zero-valued knobs replaced by defaults.
 func (c Config) normalized() Config {
 	d := DefaultConfig()
+	if c.Backend == "" {
+		c.Backend = BackendAuto
+	}
 	if c.MaxGridDim == 0 {
 		c.MaxGridDim = d.MaxGridDim
 	}
@@ -168,6 +179,9 @@ func (c Config) validate() error {
 		return fmt.Errorf("core: HBuffer = %v must be at least 1", c.HBuffer)
 	case c.HGrowth <= 1:
 		return fmt.Errorf("core: HGrowth = %v must exceed 1", c.HGrowth)
+	}
+	if !validBackend(c.Backend) {
+		return backendError(c.Backend)
 	}
 	return nil
 }

@@ -45,7 +45,15 @@ func (c *Classifier) ClassifyAllDualTree(points [][]float64) ([]Label, error) {
 	if traced {
 		start = time.Now()
 	}
-	est := c.getEstimator()
+	be := c.getEstimator()
+	est, ok := be.(*densityEstimator)
+	if !ok {
+		// Group certification is built on box-to-box distance bounds,
+		// which only the tree backend provides; other backends serve the
+		// batch through the per-query path.
+		c.putEstimator(be)
+		return c.ClassifyAll(points)
+	}
 	defer c.putEstimator(est)
 	g := &groupClassifier{c: c, est: est, points: points, out: out}
 	g.classify(idx, 0)

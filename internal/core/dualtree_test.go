@@ -51,6 +51,7 @@ func TestDualTreeMatchesPerQuery(t *testing.T) {
 // rendering workload — dual-tree classification must agree with
 // per-query classification and certify most cells in groups.
 func TestDualTreeGridEvaluation(t *testing.T) {
+	skipUnlessTreeEfficiency(t)
 	rng := rand.New(rand.NewSource(61))
 	data := gauss2D(rng, 4000)
 	cfg := testConfig()

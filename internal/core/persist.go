@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"tkdc/internal/estimator"
 	"tkdc/internal/points"
 )
 
@@ -18,24 +19,43 @@ import (
 // outcome — the threshold and its bounds — needs to persist alongside the
 // data. Loading therefore skips the expensive phases of Train entirely.
 //
-// Format v2 stores the dataset as one contiguous row-major buffer
-// (Flat + Dim), matching the in-memory points.Store layout; format v1
-// stored a slice of rows (Data). Save always writes v2; Load decodes
-// both. Gob matches fields by name, so one struct covers every version.
+// Format v3 records the resolved density backend tag and the sampling
+// backend's parameters alongside the v2 layout, so a loaded replica runs
+// the same engine the model was trained with even if the auto-selection
+// policy changes between releases. Format v2 stores the dataset as one
+// contiguous row-major buffer (Flat + Dim), matching the in-memory
+// points.Store layout; format v1 stored a slice of rows (Data). Save
+// always writes v3; Load decodes all three. Gob matches fields by name,
+// so one struct covers every version.
 type modelSnapshot struct {
 	Version   int
 	Config    Config
-	Data      [][]float64 // v1 layout; nil in v2 snapshots
-	Flat      []float64   // v2 layout: row-major buffer …
+	Data      [][]float64 // v1 layout; nil in v2+ snapshots
+	Flat      []float64   // v2+ layout: row-major buffer …
 	Dim       int         // … with this row width
 	Threshold float64
 	TLow      float64
 	THigh     float64
 	Train     TrainStats
+	// Backend is the resolved backend tag (v3; empty in v1/v2, which
+	// predate backends and always resolve to the tree).
+	Backend string
+	// Sampler records the sampling backend's tuning parameters at save
+	// time (v3). They are currently package constants — persisted so a
+	// future release that makes them configurable can honor old
+	// snapshots, and so operators can audit what an artifact ran with.
+	Sampler samplerParams
 }
 
-// modelVersion identifies the current snapshot format: 2 = flat buffer.
-const modelVersion = 2
+// samplerParams is the persisted tuning of the sampling backend.
+type samplerParams struct {
+	NearCut                float64
+	MinSamples, MaxSamples int
+}
+
+// modelVersion identifies the current snapshot format: 3 = flat buffer
+// plus backend tag.
+const modelVersion = 3
 
 // Save serializes the trained classifier (including its training data —
 // a KDE *is* its data) so a later Load can serve queries without
@@ -57,6 +77,12 @@ func (c *Classifier) Save(w io.Writer) error {
 		TLow:      c.tLow,
 		THigh:     c.tHigh,
 		Train:     c.train,
+		Backend:   c.backend,
+		Sampler: samplerParams{
+			NearCut:    estimator.DefaultNearCut,
+			MinSamples: estimator.DefaultMinSamples,
+			MaxSamples: estimator.DefaultMaxSamples,
+		},
 	}
 	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
 		return fmt.Errorf("core: save model: %w", err)
@@ -108,8 +134,11 @@ func (c *Classifier) SaveFile(path string) error {
 // Load reconstructs a classifier saved with Save: the k-d tree and grid
 // are rebuilt from the stored data, and the persisted threshold is used
 // directly, skipping the bootstrap and the full-dataset density pass.
-// Both snapshot formats are accepted: v2 (flat buffer) and the legacy v1
-// (slice of rows), which is converted to flat storage on the way in.
+// All snapshot formats are accepted: v3 (flat buffer + backend tag),
+// v2 (flat buffer), and the legacy v1 (slice of rows), which is
+// converted to flat storage on the way in. A v3 snapshot's recorded
+// backend pins the loaded model's engine — an auto-selection policy
+// change between releases cannot silently flip a serving replica.
 func Load(r io.Reader) (*Classifier, error) {
 	var snap modelSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
@@ -126,7 +155,7 @@ func Load(r io.Reader) (*Classifier, error) {
 			return nil, fmt.Errorf("core: load model: %w", err)
 		}
 		store = s
-	case 2:
+	case 2, 3:
 		if len(snap.Flat) == 0 {
 			return nil, errors.New("core: model contains no data")
 		}
@@ -136,12 +165,15 @@ func Load(r io.Reader) (*Classifier, error) {
 		}
 		store = s
 	default:
-		return nil, fmt.Errorf("core: unsupported model version %d (want 1 or %d)", snap.Version, modelVersion)
+		return nil, fmt.Errorf("core: unsupported model version %d (want 1 to %d)", snap.Version, modelVersion)
 	}
 	if math.IsNaN(snap.Threshold) {
 		return nil, errors.New("core: model threshold is NaN")
 	}
 	cfg := snap.Config.normalized()
+	if snap.Backend != "" {
+		cfg.Backend = snap.Backend
+	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}

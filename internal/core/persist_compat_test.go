@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
 	"encoding/json"
 	"flag"
 	"math/rand"
@@ -109,6 +110,90 @@ func TestPersistV1Compat(t *testing.T) {
 	}
 	got := classifyAllLabels(t, clf, data)
 	compareLabels(t, "v1", got, want.Labels)
+}
+
+// TestPersistV2Compat decodes a format-v2 snapshot — the flat-buffer
+// layout without a backend tag — synthesized from a freshly trained
+// model. Load must accept it and resolve the backend from the dimension
+// policy, exactly as pre-backend releases behaved.
+func TestPersistV2Compat(t *testing.T) {
+	data := persistDataset()
+	clf, err := Train(data, persistConfig())
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+
+	// The v2 writer's struct: every field of today's snapshot that
+	// existed in format v2, and nothing else. Gob matches by field name,
+	// so this encodes a byte stream indistinguishable from a real v2
+	// artifact.
+	type modelSnapshotV2 struct {
+		Version   int
+		Config    Config
+		Flat      []float64
+		Dim       int
+		Threshold float64
+		TLow      float64
+		THigh     float64
+		Train     TrainStats
+	}
+	cfg := clf.cfg
+	cfg.Recorder = nil
+	cfg.Backend = "" // the field postdates v2
+	snap := modelSnapshotV2{
+		Version:   2,
+		Config:    cfg,
+		Flat:      clf.data.Data,
+		Dim:       clf.data.Dim,
+		Threshold: clf.threshold,
+		TLow:      clf.tLow,
+		THigh:     clf.tHigh,
+		Train:     clf.train,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load v2 snapshot: %v", err)
+	}
+	if loaded.Threshold() != clf.Threshold() {
+		t.Errorf("v2 threshold = %.17g, want %.17g", loaded.Threshold(), clf.Threshold())
+	}
+	if loaded.Backend() != BackendTree {
+		t.Errorf("v2 snapshot (d=2) resolved backend %q, want %q", loaded.Backend(), BackendTree)
+	}
+	compareLabels(t, "v2", classifyAllLabels(t, loaded, data), classifyAllLabels(t, clf, data))
+}
+
+// TestPersistV3BackendPinned checks the v3 backend tag survives a
+// round trip and overrides auto-selection: a d=2 model trained with the
+// sampling backend forced must come back sampling, not tree.
+func TestPersistV3BackendPinned(t *testing.T) {
+	cfg := persistConfig()
+	cfg.Backend = BackendSampling
+	clf, err := Train(persistDataset(), cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := clf.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if loaded.Backend() != BackendSampling {
+		t.Errorf("loaded backend = %q, want pinned %q", loaded.Backend(), BackendSampling)
+	}
+	// The loaded config must carry the pin too, so a further save/load
+	// chain cannot lose it.
+	if loaded.Config().Backend != BackendSampling {
+		t.Errorf("loaded config backend = %q, want %q", loaded.Config().Backend, BackendSampling)
+	}
 }
 
 // TestPersistRoundTrip saves a freshly trained classifier in the current

@@ -120,7 +120,7 @@ func TestLoadRejectsWrongVersion(t *testing.T) {
 	if err := c.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if modelVersion != 2 {
+	if modelVersion != 3 {
 		t.Fatalf("update TestLoadRejectsWrongVersion for version %d", modelVersion)
 	}
 	if _, err := Load(&buf); err != nil {

@@ -17,8 +17,9 @@ func TestEstimatorPoolCapsRetainedHeap(t *testing.T) {
 	}
 
 	// A modest heap must survive pooling untouched (the reuse the pool
-	// exists for).
-	small := clf.getEstimator()
+	// exists for). d=2 resolves to the tree backend, so the pooled
+	// backends are densityEstimators.
+	small := clf.getEstimator().(*densityEstimator)
 	small.heap.items = make([]heapItem, 0, maxPooledHeapItems/2)
 	clf.putEstimator(small)
 	if cap(small.heap.items) != maxPooledHeapItems/2 {
@@ -26,7 +27,7 @@ func TestEstimatorPoolCapsRetainedHeap(t *testing.T) {
 	}
 
 	// An oversized heap must be released on Put.
-	big := clf.getEstimator()
+	big := clf.getEstimator().(*densityEstimator)
 	big.heap.items = make([]heapItem, 0, 4*maxPooledHeapItems)
 	clf.putEstimator(big)
 	if cap(big.heap.items) != 0 {
@@ -47,7 +48,7 @@ func TestEstimatorPoolNotMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 	for round := 0; round < 50; round++ {
-		e := clf.getEstimator()
+		e := clf.getEstimator().(*densityEstimator)
 		if cap(e.heap.items) > maxPooledHeapItems {
 			t.Fatalf("round %d: pool handed out a heap of cap %d (limit %d)",
 				round, cap(e.heap.items), maxPooledHeapItems)

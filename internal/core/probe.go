@@ -6,25 +6,34 @@ import (
 	"math/rand"
 	"sort"
 
+	"tkdc/internal/kdtree"
 	"tkdc/internal/kernel"
 	"tkdc/internal/points"
 	"tkdc/internal/stats"
 )
 
+// probeRelPrecision is the relative density precision the probe asks of
+// its backend: tight enough (1%) that drift comparisons — which look for
+// tens-of-percent threshold movement — are unaffected by estimation
+// error.
+const probeRelPrecision = 0.01
+
 // ProbeThreshold cheaply re-estimates the classification threshold t(p)
 // over data without training a classifier: it draws refRows reference
 // rows and probes held-out probe rows (disjointly and seeded, so the
-// probe is deterministic for a fixed seed), evaluates each probe's exact
-// density under the reference mini-KDE with Scott's-rule bandwidths, and
-// returns the p-quantile. Holding the probe rows out of the reference
-// set plays the role of the self-contribution correction of Section 2.3:
-// no probe contributes density to itself.
+// probe is deterministic for a fixed seed), estimates each probe's
+// density under the reference mini-KDE with Scott's-rule bandwidths to
+// 1% relative precision via the configured density backend, and returns
+// the p-quantile. Holding the probe rows out of the reference set plays
+// the role of the self-contribution correction of Section 2.3: no probe
+// contributes density to itself.
 //
 // The estimate is a rough, biased stand-in for the trained threshold
 // (small-sample bandwidths differ from full-dataset ones), so it is
 // meant for relative comparisons — detecting that the distribution under
-// a live model has drifted — not as a serving threshold. Cost is
-// O(refRows · probes) kernel evaluations, independent of data.Len().
+// a live model has drifted — not as a serving threshold. Cost is at most
+// O(refRows · probes) kernel evaluations, independent of data.Len(), and
+// lower when the backend's pruning or sampling bites.
 func ProbeThreshold(data *points.Store, cfg Config, refRows, probes int, seed int64) (float64, error) {
 	cfg = cfg.normalized()
 	if err := cfg.validate(); err != nil {
@@ -78,9 +87,19 @@ func ProbeThreshold(data *points.Store, cfg Config, refRows, probes int, seed in
 	if err != nil {
 		return 0, err
 	}
+	tree, err := kdtree.Build(ref, kdtree.Options{LeafSize: cfg.LeafSize, Split: cfg.Split, Workers: cfg.Workers})
+	if err != nil {
+		return 0, fmt.Errorf("core: probe index: %w", err)
+	}
+	// The probe's own seed drives the backend so repeated probes with the
+	// same seed stay bit-identical regardless of the training seed.
+	beCfg := cfg
+	beCfg.Seed = seed
+	be := newQueryBackend(tree, kern, beCfg)
+	var qs QueryStats
 	densities := make([]float64, probes)
 	for i := range densities {
-		densities[i] = kernel.Sum(kern, held.Row(i), ref.Data) / float64(refRows)
+		_, _, densities[i] = be.EstimateDensity(held.Row(i), probeRelPrecision, &qs)
 	}
 	sort.Float64s(densities)
 	return stats.SortedQuantile(densities, cfg.P)

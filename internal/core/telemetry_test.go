@@ -230,6 +230,7 @@ func TestSnapshotWithoutRecorder(t *testing.T) {
 // dual-tree pass (per-query latency being meaningless there) while the
 // work still lands in the coherent counters.
 func TestDualTreeBatchSpan(t *testing.T) {
+	skipUnlessTreeEfficiency(t)
 	rng := rand.New(rand.NewSource(51))
 	data := gauss2D(rng, 1200)
 	reg := telemetry.NewRegistry()

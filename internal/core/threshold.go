@@ -34,7 +34,7 @@ type thresholdBound struct {
 // larger sample are multiplicatively backed off and the round retried.
 //
 // Each round's score loop fans the sample rows out across
-// cfg.Workers goroutines with one private densityEstimator per worker.
+// cfg.Workers goroutines with one private density backend per worker.
 // Sampling (the only RNG consumer) stays sequential and each worker
 // writes disjoint density slots, so the bounds are bit-identical to a
 // single-threaded run; per-worker QueryStats are summed afterwards,
@@ -94,13 +94,13 @@ func boundThreshold(data *points.Store, cfg Config, rng *rand.Rand) (thresholdBo
 			densities = make([]float64, sEff)
 		}
 		densities = densities[:sEff]
-		newEst := func() *densityEstimator {
-			return newDensityEstimator(tree, kern, cfg.DisableThresholdRule, cfg.DisableToleranceRule)
+		newEst := func() DensityBackend {
+			return newQueryBackend(tree, kern, cfg)
 		}
-		scoreRange := func(est *densityEstimator, lo, hi int, qs *QueryStats) {
+		scoreRange := func(est DensityBackend, lo, hi int, qs *QueryStats) {
 			for i := lo; i < hi; i++ {
-				fl, fu := est.boundDensity(xs.Row(i), res.lo+selfContrib, res.hi+selfContrib, tolCut, qs)
-				densities[i] = 0.5*(fl+fu) - selfContrib
+				_, _, f := est.BoundDensity(xs.Row(i), res.lo+selfContrib, res.hi+selfContrib, tolCut, qs)
+				densities[i] = f - selfContrib
 			}
 		}
 		if workers < 2 || sEff < 2*workers {

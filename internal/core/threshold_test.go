@@ -64,6 +64,7 @@ func TestBoundThresholdBracketsTrueThreshold(t *testing.T) {
 // point exactly: its kernel evaluations should be well below n² even on a
 // modest dataset.
 func TestBoundThresholdCheaperThanExact(t *testing.T) {
+	skipUnlessTreeEfficiency(t)
 	rng := rand.New(rand.NewSource(40))
 	data := mustStore(gauss2D(rng, 4000))
 	cfg := testConfig().normalized()

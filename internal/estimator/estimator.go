@@ -1,0 +1,550 @@
+// Package estimator implements a sampled far-field kernel density
+// estimator for high-dimensional data, in the style of DEANN (Karppa,
+// Aumüller & Pagh): the density at a query splits into an exact sum over
+// a near field resolved by a budgeted k-d tree descent, plus a
+// random-sampling estimate of the unresolved far field.
+//
+// The near phase is a best-first traversal of the kdtree arena ordered
+// by (minimum scaled distance, node count): nodes entirely within the
+// near radius — the scaled distance where the kernel has decayed to
+// NearCut·K(0) — and leaves touching it are summed exactly; nodes
+// entirely beyond the kernel's support contribute an exact zero and are
+// dropped. The traversal expands at most NearNodes interior nodes, so
+// its cost stays bounded even in high dimensions, where distance bounds
+// degenerate and an uncapped range query would scan every point. The
+// frontier left when the traversal stops becomes the far field: a set of
+// disjoint row ranges, each carrying the certified per-point value bound
+// K(dmin) of its node.
+//
+// The far field is estimated by uniform with-replacement sampling over
+// its rows (not the whole dataset, so near-field mass is never double
+// counted). The estimate carries an empirical-Bernstein confidence band:
+// with probability at least 1−δ the true far-field mean lies within
+// sd·sqrt(2L/m) + 3·R·L/m of the sample mean, where m is the sample
+// count, R the largest per-node value bound among far ranges, and
+// L = ln(3/δ). The band is variance-derived, so it collapses quickly
+// when the far field is homogeneous (the usual high-dimensional case)
+// and still covers heavy skew through the R/m term. Unlike the tree
+// traversal's bounds the band is probabilistic, not certified; the
+// certified envelope [sumNear/n, sumNear/n + Σ count·K(dmin)/n] always
+// holds and clamps the band.
+//
+// Sampling is deterministically seeded per query — the seed mixes the
+// estimator's base seed with the query coordinates — so retrained models
+// and serving replicas produce identical estimates for identical
+// (data, config, query) triples.
+//
+// A Sampler is not safe for concurrent use; create one per goroutine
+// (the underlying tree and kernel are shared and immutable).
+package estimator
+
+import (
+	"math"
+	"math/rand"
+
+	"tkdc/internal/kdtree"
+	"tkdc/internal/kernel"
+)
+
+// Default tuning parameters, used when Options leaves them zero.
+const (
+	// DefaultNearCut is the relative kernel value that bounds the near
+	// field: the near radius is the scaled distance where the kernel
+	// falls to NearCut·K(0).
+	DefaultNearCut = 1e-3
+	// DefaultNearNodes caps the interior-node expansions of the near
+	// phase per query.
+	DefaultNearNodes = 64
+	// DefaultMinSamples is the initial far-field sample size.
+	DefaultMinSamples = 256
+	// DefaultMaxSamples caps the far-field sample budget per query; the
+	// budget doubles from DefaultMinSamples while no stopping rule fires.
+	DefaultMaxSamples = 4096
+)
+
+// Options configures New. Zero values take the package defaults.
+type Options struct {
+	// Seed is the base of the per-query deterministic sampling seed.
+	Seed int64
+	// Delta is the acceptable failure probability of the far-field
+	// confidence band (default 0.01).
+	Delta float64
+	// NearCut bounds the near field: the near radius is the scaled
+	// distance where the kernel falls to NearCut·K(0).
+	NearCut float64
+	// NearNodes caps interior-node expansions in the near phase.
+	NearNodes int
+	// MinSamples and MaxSamples bound the adaptive far-field sample
+	// budget.
+	MinSamples, MaxSamples int
+	// DisableThreshold turns off the threshold stopping rule.
+	DisableThreshold bool
+	// DisableTolerance turns off the tolerance stopping rule.
+	DisableTolerance bool
+}
+
+// Work counts the effort one query performed, in the same units the tree
+// traversal reports: PointKernels are per-point kernel/distance
+// evaluations (near-field sums plus far-field samples), BoundKernels are
+// kernel evaluations at node distance bounds (one per far range
+// candidate), and NodesVisited are arena nodes popped during the near
+// phase.
+type Work struct {
+	PointKernels int64
+	BoundKernels int64
+	NodesVisited int64
+}
+
+// nearItem is one arena node awaiting near-phase processing.
+type nearItem struct {
+	dmin, dmax float64
+	id         int32
+	count      int32
+}
+
+// nearHeap is a min-heap on (dmin, count): closest node first, smallest
+// first among ties, which drives the traversal down the query's own
+// containment path before spending budget on sibling regions.
+type nearHeap struct {
+	items []nearItem
+}
+
+func (h *nearHeap) len() int { return len(h.items) }
+
+func nearLess(a, b nearItem) bool {
+	if a.dmin != b.dmin {
+		return a.dmin < b.dmin
+	}
+	return a.count < b.count
+}
+
+func (h *nearHeap) push(it nearItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !nearLess(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *nearHeap) pop() nearItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.items) && nearLess(h.items[l], h.items[smallest]) {
+			smallest = l
+		}
+		if r < len(h.items) && nearLess(h.items[r], h.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}
+
+// farRange is one unresolved node's row range in the far-field
+// population. cum is the number of far rows preceding the range, so a
+// uniform index into the population maps to a row by binary search.
+type farRange struct {
+	lo, hi int32
+	cum    int
+}
+
+// farField is the sampling population one near phase leaves behind.
+type farField struct {
+	ranges []farRange
+	count  int     // total far rows
+	rmax   float64 // certified bound on any far point's kernel value
+	uSum   float64 // Σ count·K(dmin): certified far-field upper mass
+}
+
+// Sampler estimates kernel densities over one immutable index by a
+// budgeted exact near phase plus seeded far-field sampling.
+type Sampler struct {
+	tree  *kdtree.Tree
+	kern  kernel.Kernel
+	invH2 []float64
+	n     float64
+
+	nearSq  float64 // scaled squared radius of the exact near field
+	logTerm float64 // ln(3/δ) of the empirical-Bernstein band
+
+	seed                   int64
+	nearNodes              int
+	minSamples, maxSamples int
+	disableThreshold       bool
+	disableTolerance       bool
+
+	src  rand.Source64
+	rng  *rand.Rand
+	heap nearHeap
+	far  farField
+}
+
+// New builds a Sampler over a built tree and its kernel.
+func New(tree *kdtree.Tree, kern kernel.Kernel, opts Options) *Sampler {
+	if opts.Delta <= 0 || opts.Delta >= 1 {
+		opts.Delta = 0.01
+	}
+	if opts.NearCut <= 0 || opts.NearCut >= 1 {
+		opts.NearCut = DefaultNearCut
+	}
+	if opts.NearNodes <= 0 {
+		opts.NearNodes = DefaultNearNodes
+	}
+	if opts.MinSamples <= 0 {
+		opts.MinSamples = DefaultMinSamples
+	}
+	if opts.MaxSamples <= 0 {
+		opts.MaxSamples = DefaultMaxSamples
+	}
+	if opts.MaxSamples < opts.MinSamples {
+		opts.MaxSamples = opts.MinSamples
+	}
+	src := rand.NewSource(0).(rand.Source64)
+	return &Sampler{
+		tree:             tree,
+		kern:             kern,
+		invH2:            kern.InvBandwidthsSq(),
+		n:                float64(tree.Size),
+		nearSq:           nearRadiusSq(kern, opts.NearCut),
+		logTerm:          math.Log(3 / opts.Delta),
+		seed:             opts.Seed,
+		nearNodes:        opts.NearNodes,
+		minSamples:       opts.MinSamples,
+		maxSamples:       opts.MaxSamples,
+		disableThreshold: opts.DisableThreshold,
+		disableTolerance: opts.DisableTolerance,
+		src:              src,
+		rng:              rand.New(src),
+	}
+}
+
+// NearRadiusSq returns the bandwidth-scaled squared radius of the exact
+// near field.
+func (s *Sampler) NearRadiusSq() float64 { return s.nearSq }
+
+// nearRadiusSq finds the smallest scaled squared distance at which the
+// kernel has decayed to cut·K(0), by bisection on the monotone kernel.
+func nearRadiusSq(kern kernel.Kernel, cut float64) float64 {
+	target := cut * kern.AtZero()
+	hi := kern.SupportSqRadius()
+	if math.IsInf(hi, 1) {
+		hi = 1
+		for kern.FromScaledSqDist(hi) > target {
+			hi *= 2
+			if hi > 1e18 { // defensive: no real kernel gets here
+				return hi
+			}
+		}
+	}
+	lo := 0.0
+	for i := 0; i < 64 && hi-lo > 1e-9*(1+hi); i++ {
+		mid := 0.5 * (lo + hi)
+		if kern.FromScaledSqDist(mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// querySeed mixes the base seed with the query coordinates (splitmix64
+// finalization over the float bits) so sampling is deterministic per
+// (seed, query) and decorrelated across queries.
+func querySeed(seed int64, x []float64) int64 {
+	h := uint64(seed) ^ 0x9e3779b97f4a7c15
+	for _, v := range x {
+		h ^= math.Float64bits(v)
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return int64(h)
+}
+
+// nearPhase runs the budgeted best-first traversal. It returns the exact
+// kernel sum over every resolved row and leaves s.far describing the
+// unresolved remainder. Rows in nodes wholly beyond the kernel's support
+// contribute an exact zero and appear in neither.
+func (s *Sampler) nearPhase(x []float64, w *Work) (sumNear float64) {
+	t := s.tree
+	s.heap.items = s.heap.items[:0]
+	s.far.ranges = s.far.ranges[:0]
+	s.far.count = 0
+	s.far.rmax = 0
+	s.far.uSum = 0
+
+	// Greedy descent to the leaf nearest the query first, pushing the
+	// off-path sibling at each level. Near the data's center the shallow
+	// boxes all have dmin ≈ 0 and pure best-first order degenerates into
+	// a breadth-first sweep of the tree's top, exhausting the budget
+	// before any leaf resolves; the descent guarantees the query's own
+	// leaf — and with it a training row's own kernel contribution — is
+	// summed exactly for O(depth) extra bound evaluations, at any budget.
+	dmin, dmax := t.BoundsSqDist(0, x, s.invH2)
+	it := nearItem{dmin: dmin, dmax: dmax, id: 0, count: int32(t.Size)}
+	for {
+		w.NodesVisited++
+		if it.dmin > s.nearSq {
+			s.addFar(it, w)
+			break
+		}
+		m := &t.Meta[it.id]
+		if it.dmax <= s.nearSq || m.Left < 0 {
+			sumNear += kernel.Sum(s.kern, x, t.Pts.Slab(int(m.Lo), int(m.Hi)))
+			w.PointKernels += int64(it.count)
+			break
+		}
+		lmin, lmax := t.BoundsSqDist(m.Left, x, s.invH2)
+		rmin, rmax := t.BoundsSqDist(m.Right, x, s.invH2)
+		l := nearItem{dmin: lmin, dmax: lmax, id: m.Left, count: int32(t.Count(m.Left))}
+		r := nearItem{dmin: rmin, dmax: rmax, id: m.Right, count: int32(t.Count(m.Right))}
+		if nearLess(l, r) {
+			s.heap.push(r)
+			it = l
+		} else {
+			s.heap.push(l)
+			it = r
+		}
+	}
+
+	budget := s.nearNodes
+	for s.heap.len() > 0 {
+		it := s.heap.pop()
+		w.NodesVisited++
+		if it.dmin > s.nearSq {
+			s.addFar(it, w)
+			continue
+		}
+		m := &t.Meta[it.id]
+		if it.dmax <= s.nearSq || m.Left < 0 {
+			// Wholly inside the near radius, or a leaf touching it:
+			// one contiguous exact sweep.
+			sumNear += kernel.Sum(s.kern, x, t.Pts.Slab(int(m.Lo), int(m.Hi)))
+			w.PointKernels += int64(it.count)
+			continue
+		}
+		if budget == 0 {
+			s.addFar(it, w)
+			continue
+		}
+		budget--
+		for _, child := range [2]int32{m.Left, m.Right} {
+			cmin, cmax := t.BoundsSqDist(child, x, s.invH2)
+			s.heap.push(nearItem{dmin: cmin, dmax: cmax, id: child, count: int32(t.Count(child))})
+		}
+	}
+	return sumNear
+}
+
+// addFar moves an unresolved node into the far-field population with its
+// certified per-point value bound K(dmin). A zero bound means every
+// point in the node lies beyond the kernel's support — an exact zero
+// contribution, excluded from the population entirely.
+func (s *Sampler) addFar(it nearItem, w *Work) {
+	k := s.kern.FromScaledSqDist(it.dmin)
+	w.BoundKernels++
+	if k == 0 {
+		return
+	}
+	if k > s.far.rmax {
+		s.far.rmax = k
+	}
+	m := &s.tree.Meta[it.id]
+	s.far.ranges = append(s.far.ranges, farRange{lo: m.Lo, hi: m.Hi, cum: s.far.count})
+	s.far.count += int(it.count)
+	s.far.uSum += float64(it.count) * k
+}
+
+// farRow maps a uniform index in [0, far.count) to a row index of the
+// tree's reordered point buffer by binary search over the range table.
+func (s *Sampler) farRow(u int) int {
+	ranges := s.far.ranges
+	lo, hi := 0, len(ranges)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if ranges[mid].cum <= u {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	r := ranges[lo]
+	return int(r.lo) + (u - r.cum)
+}
+
+// exactFar sums the far-field kernel exactly over every range — the
+// fallback when the population is too small for sampling to pay off, or
+// when a caller demands precision the sample budget cannot deliver.
+func (s *Sampler) exactFar(x []float64, w *Work) float64 {
+	t := s.tree
+	sum := 0.0
+	for _, r := range s.far.ranges {
+		sum += kernel.Sum(s.kern, x, t.Pts.Slab(int(r.lo), int(r.hi)))
+		w.PointKernels += int64(r.hi - r.lo)
+	}
+	return sum
+}
+
+// farState is the Welford accumulator of the far-field sample.
+type farState struct {
+	m    int
+	mean float64
+	m2   float64
+}
+
+// sampleTo draws far-field rows uniformly with replacement until the
+// accumulator holds target values.
+func (s *Sampler) sampleTo(st *farState, x []float64, target int, w *Work) {
+	for st.m < target {
+		row := s.tree.Pts.Row(s.farRow(s.rng.Intn(s.far.count)))
+		v := s.kern.FromScaledSqDist(kernel.ScaledSqDist(x, row, s.invH2))
+		w.PointKernels++
+		st.m++
+		d := v - st.mean
+		st.mean += d / float64(st.m)
+		st.m2 += d * (v - st.mean)
+	}
+}
+
+// bounds converts the certified envelope and the far-field sample into
+// density bounds and a point estimate. est is the unbiased split
+// estimate; fl and fu are the empirical-Bernstein band around it,
+// clamped into the certified envelope.
+func (s *Sampler) bounds(sumNear float64, st *farState) (fl, fu, est float64) {
+	flCert := sumNear / s.n
+	fuCert := (sumNear + s.far.uSum) / s.n
+	frac := float64(s.far.count) / s.n
+	est = flCert + frac*st.mean
+	variance := 0.0
+	if st.m > 1 {
+		variance = st.m2 / float64(st.m-1)
+	}
+	m := float64(st.m)
+	band := frac * (math.Sqrt(2*variance*s.logTerm/m) + 3*s.far.rmax*s.logTerm/m)
+	fl = est - band
+	fu = est + band
+	if fl < flCert {
+		fl = flCert
+	}
+	if fu > fuCert {
+		fu = fuCert
+	}
+	if fl > fu {
+		mid := 0.5 * (fl + fu)
+		fl, fu = mid, mid
+	}
+	if est < fl {
+		est = fl
+	}
+	if est > fu {
+		est = fu
+	}
+	return fl, fu, est
+}
+
+// exact computes the density by a full kernel sweep — the small-dataset
+// fallback.
+func (s *Sampler) exact(x []float64, w *Work) float64 {
+	w.PointKernels += int64(s.tree.Size)
+	return kernel.Sum(s.kern, x, s.tree.Pts.Data) / s.n
+}
+
+// BoundDensity estimates the density at x under the threshold/tolerance
+// stopping rules of tKDC's Algorithm 2: the far-field sample budget
+// doubles from MinSamples until the confidence band clears [tl, tu] on
+// one side (the classification is decided), the band is narrower than
+// tolCut, or MaxSamples is reached. The returned fl ≤ est ≤ fu satisfy
+// fl ≤ f(x) ≤ fu with probability ≥ 1−δ (with certainty, when the near
+// phase resolved the whole dataset); est is the unbiased split estimate.
+func (s *Sampler) BoundDensity(x []float64, tl, tu, tolCut float64, w *Work) (fl, fu, est float64) {
+	s.src.Seed(querySeed(s.seed, x))
+	if s.tree.Size <= 2*s.minSamples {
+		v := s.exact(x, w)
+		return v, v, v
+	}
+	sumNear := s.nearPhase(x, w)
+	if s.far.count == 0 {
+		v := sumNear / s.n
+		return v, v, v
+	}
+	if s.far.count <= s.minSamples {
+		// Sampling with replacement from a population this small costs
+		// more than exhausting it.
+		v := (sumNear + s.exactFar(x, w)) / s.n
+		return v, v, v
+	}
+	var st farState
+	target := s.minSamples
+	for {
+		s.sampleTo(&st, x, target, w)
+		fl, fu, est = s.bounds(sumNear, &st)
+		if !s.disableThreshold && (fl > tu || fu < tl) {
+			break
+		}
+		if !s.disableTolerance && tolCut > 0 && fu-fl < tolCut {
+			break
+		}
+		if target >= s.maxSamples {
+			break
+		}
+		target *= 2
+		if target > s.maxSamples {
+			target = s.maxSamples
+		}
+	}
+	return fl, fu, est
+}
+
+// EstimateDensity estimates the density to relative precision rel
+// (fu − fl ≤ rel·fl) regardless of any threshold. If the sample budget
+// cannot tighten the band that far — or rel ≤ 0 demands exactness — it
+// falls back to exhausting the far field exactly, so the returned
+// precision always honors the contract.
+func (s *Sampler) EstimateDensity(x []float64, rel float64, w *Work) (fl, fu, est float64) {
+	s.src.Seed(querySeed(s.seed, x))
+	if s.tree.Size <= 2*s.minSamples {
+		v := s.exact(x, w)
+		return v, v, v
+	}
+	sumNear := s.nearPhase(x, w)
+	if s.far.count == 0 {
+		v := sumNear / s.n
+		return v, v, v
+	}
+	if rel > 0 && s.far.count > s.minSamples {
+		var st farState
+		target := s.minSamples
+		for {
+			s.sampleTo(&st, x, target, w)
+			fl, fu, est = s.bounds(sumNear, &st)
+			if fu-fl <= rel*fl {
+				return fl, fu, est
+			}
+			if target >= s.maxSamples {
+				break
+			}
+			target *= 2
+			if target > s.maxSamples {
+				target = s.maxSamples
+			}
+		}
+	}
+	v := (sumNear + s.exactFar(x, w)) / s.n
+	return v, v, v
+}

@@ -1,0 +1,317 @@
+package estimator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tkdc/internal/kdtree"
+	"tkdc/internal/kernel"
+	"tkdc/internal/points"
+)
+
+// buildIndex constructs a store, tree, and Scott-bandwidth Gaussian
+// kernel over n points of dimension d drawn N(0, 1).
+func buildIndex(t *testing.T, seed int64, n, d int) (*kdtree.Tree, kernel.Kernel) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	store := points.New(n, d)
+	for i := 0; i < n; i++ {
+		row := store.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	tree, err := kdtree.Build(store, kdtree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := kernel.ScottBandwidths(store, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kern, err := kernel.NewGaussian(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, kern
+}
+
+func exact(tree *kdtree.Tree, kern kernel.Kernel, x []float64) float64 {
+	return kernel.Sum(kern, x, tree.Pts.Data) / float64(tree.Size)
+}
+
+// TestNearRadius checks the bisection finds the scaled distance where
+// the kernel decays to NearCut·K(0): for the Gaussian that is
+// −2·ln(cut).
+func TestNearRadius(t *testing.T) {
+	h := []float64{1, 1, 1}
+	g, err := kernel.NewGaussian(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := nearRadiusSq(g, 1e-3)
+	want := -2 * math.Log(1e-3)
+	if math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("nearRadiusSq = %v, want %v", got, want)
+	}
+}
+
+// TestDeterministicPerQuery checks two independent samplers agree
+// bit-for-bit on every query, and that query order does not matter —
+// the per-query seeding retrains and replicas rely on.
+func TestDeterministicPerQuery(t *testing.T) {
+	tree, kern := buildIndex(t, 11, 5000, 12)
+	a := New(tree, kern, Options{Seed: 7})
+	b := New(tree, kern, Options{Seed: 7})
+	rng := rand.New(rand.NewSource(3))
+	queries := make([][]float64, 32)
+	for i := range queries {
+		q := make([]float64, 12)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		queries[i] = q
+	}
+	var w Work
+	type triple struct{ fl, fu, est float64 }
+	got := make([]triple, len(queries))
+	for i, q := range queries {
+		fl, fu, est := a.BoundDensity(q, 0, math.Inf(1), 0, &w)
+		got[i] = triple{fl, fu, est}
+	}
+	// b serves the queries in reverse order; results must still match.
+	for i := len(queries) - 1; i >= 0; i-- {
+		fl, fu, est := b.BoundDensity(queries[i], 0, math.Inf(1), 0, &w)
+		if got[i] != (triple{fl, fu, est}) {
+			t.Fatalf("query %d: (%v,%v,%v) != (%v,%v,%v)",
+				i, fl, fu, est, got[i].fl, got[i].fu, got[i].est)
+		}
+	}
+	// A different seed must actually change the sampling.
+	c := New(tree, kern, Options{Seed: 8})
+	same := 0
+	for i, q := range queries {
+		_, _, est := c.BoundDensity(q, 0, math.Inf(1), 0, &w)
+		if est == got[i].est {
+			same++
+		}
+	}
+	if same == len(queries) {
+		t.Fatal("seed change left every estimate identical")
+	}
+}
+
+// TestBoundsBracketExact draws many queries and checks the probabilistic
+// bounds bracket the exact density at well above the 1−δ rate, and that
+// the point estimate stays inside the bounds.
+func TestBoundsBracketExact(t *testing.T) {
+	tree, kern := buildIndex(t, 5, 4000, 10)
+	s := New(tree, kern, Options{Seed: 1, Delta: 0.05})
+	rng := rand.New(rand.NewSource(9))
+	misses := 0
+	const trials = 300
+	var w Work
+	for i := 0; i < trials; i++ {
+		q := make([]float64, 10)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		// tl=0, tu=∞ keeps every stopping rule from firing, so the full
+		// sample budget is spent and the final band is tested.
+		fl, fu, est := s.BoundDensity(q, 0, math.Inf(1), 0, &w)
+		f := exact(tree, kern, q)
+		// The exact-resolution path sums in tree order, the reference in
+		// flat order; allow summation-order rounding at the interval ends.
+		if tol := 1e-9 * f; fl > f+tol || f > fu+tol {
+			misses++
+		}
+		if est < fl || est > fu {
+			t.Fatalf("query %d: est %v outside [%v, %v]", i, est, fl, fu)
+		}
+	}
+	// δ=0.05 permits ~15 misses in expectation; the empirical-Bernstein
+	// band is conservative, so even 2δ·trials signals a real defect.
+	if misses > trials/10 {
+		t.Fatalf("bounds missed the exact density %d/%d times (δ=0.05)", misses, trials)
+	}
+}
+
+// TestSmallDatasetExact checks the exact-sweep fallback: with n below
+// the sampling break-even the bounds collapse to the exact density.
+func TestSmallDatasetExact(t *testing.T) {
+	tree, kern := buildIndex(t, 6, 100, 6)
+	s := New(tree, kern, Options{Seed: 2})
+	q := make([]float64, 6)
+	var w Work
+	fl, fu, est := s.BoundDensity(q, 0, math.Inf(1), 0, &w)
+	f := exact(tree, kern, q)
+	if fl != f || fu != f || est != f {
+		t.Fatalf("small-n fallback: (%v, %v, %v) != exact %v", fl, fu, est, f)
+	}
+}
+
+// TestEstimateDensityHonorsPrecision checks EstimateDensity's contract:
+// the returned bounds satisfy fu − fl ≤ rel·fl even when that requires
+// the exact fallback.
+func TestEstimateDensityHonorsPrecision(t *testing.T) {
+	tree, kern := buildIndex(t, 8, 3000, 8)
+	s := New(tree, kern, Options{Seed: 3})
+	rng := rand.New(rand.NewSource(4))
+	var w Work
+	for i := 0; i < 20; i++ {
+		q := make([]float64, 8)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		rel := 0.01
+		fl, fu, est := s.EstimateDensity(q, rel, &w)
+		if fu-fl > rel*fl {
+			t.Fatalf("query %d: width %v exceeds rel %v · fl %v", i, fu-fl, rel, fl)
+		}
+		if est < fl || est > fu {
+			t.Fatalf("query %d: est %v outside [%v, %v]", i, est, fl, fu)
+		}
+	}
+	// rel ≤ 0 demands exactness (up to summation order: the fallback
+	// sums near and far ranges separately).
+	q := make([]float64, 8)
+	fl, fu, _ := s.EstimateDensity(q, 0, &w)
+	f := exact(tree, kern, q)
+	if fl != fu || math.Abs(fl-f) > 1e-9*f {
+		t.Fatalf("rel=0: (%v, %v) != exact %v", fl, fu, f)
+	}
+}
+
+// TestThresholdRuleStopsEarly checks the adaptive budget: a query whose
+// band clears the threshold at the first check spends only the minimum
+// sample batch, while the same query against an undecidable band runs to
+// MaxSamples. The near phase is identical in both runs, so the saving is
+// exactly the sample difference.
+func TestThresholdRuleStopsEarly(t *testing.T) {
+	tree, kern := buildIndex(t, 12, 20000, 10)
+	s := New(tree, kern, Options{Seed: 5})
+
+	// A central query has near-field mass, so fl > 0 ≥ tu fires the
+	// threshold rule at the first band.
+	var wEasy Work
+	center := make([]float64, 10)
+	flEasy, _, _ := s.BoundDensity(center, 1e-300, 1e-300, 0, &wEasy)
+	if flEasy <= 1e-300 {
+		t.Fatalf("central query fl = %v, expected positive near-field mass", flEasy)
+	}
+
+	// tl=0, tu=∞ makes both rules unreachable: the budget runs out.
+	var wHard Work
+	s.BoundDensity(center, 0, math.Inf(1), 0, &wHard)
+
+	saved := wHard.PointKernels - wEasy.PointKernels
+	if saved < int64(s.maxSamples-2*s.minSamples) {
+		t.Fatalf("threshold rule saved only %d point kernels (easy %d, hard %d)",
+			saved, wEasy.PointKernels, wHard.PointKernels)
+	}
+
+	// A far outlier is certified zero by support pruning alone: no
+	// kernel evaluations at all.
+	var wOut Work
+	out := make([]float64, 10)
+	for j := range out {
+		out[j] = 50
+	}
+	fl, fu, est := s.BoundDensity(out, 1e-300, 1e-300, 0, &wOut)
+	if fl != 0 || fu != 0 || est != 0 {
+		t.Fatalf("outlier: (%v, %v, %v), want certified zero", fl, fu, est)
+	}
+	if wOut.PointKernels != 0 {
+		t.Fatalf("outlier cost %d point kernels, want 0 (support pruning)", wOut.PointKernels)
+	}
+}
+
+// TestWorkCountsSamples checks the work accounting covers all three
+// effort kinds: near-field point sums plus far-field samples, bound
+// evaluations for far ranges, and near-phase node visits.
+func TestWorkCountsSamples(t *testing.T) {
+	tree, kern := buildIndex(t, 13, 5000, 10)
+	// A small node budget guarantees an unresolved far field even on a
+	// tree this size.
+	s := New(tree, kern, Options{Seed: 6, NearNodes: 16})
+	var w Work
+	q := make([]float64, 10)
+	s.BoundDensity(q, 0, math.Inf(1), 0, &w)
+	if w.PointKernels < int64(s.maxSamples) {
+		t.Fatalf("PointKernels %d below the exhausted sample budget %d", w.PointKernels, s.maxSamples)
+	}
+	if w.NodesVisited == 0 {
+		t.Fatal("near-field traversal recorded no node visits")
+	}
+	if w.BoundKernels == 0 {
+		t.Fatal("no bound kernels recorded despite an unresolved far field")
+	}
+}
+
+// TestNearPhasePartition cross-checks the budgeted near phase against
+// brute force: the exact near sum plus the true kernel mass of the far
+// ranges must reconstruct the exact density (rows in neither are
+// support-pruned, contributing exactly zero), the certified value bound
+// rmax must dominate every far row's kernel, and the range table must
+// map population indices onto its own rows.
+func TestNearPhasePartition(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{{2000, 4}, {2000, 16}} {
+		tree, kern := buildIndex(t, 14, tc.n, tc.d)
+		s := New(tree, kern, Options{Seed: 7})
+		rng := rand.New(rand.NewSource(15))
+		invH2 := kern.InvBandwidthsSq()
+		for i := 0; i < 10; i++ {
+			q := make([]float64, tc.d)
+			for j := range q {
+				q[j] = rng.NormFloat64()
+			}
+			var w Work
+			sumNear := s.nearPhase(q, &w)
+
+			farTrue := 0.0
+			kmax := 0.0
+			rows := 0
+			for _, r := range s.far.ranges {
+				if r.cum != rows {
+					t.Fatalf("d=%d query %d: range cum %d != running count %d", tc.d, i, r.cum, rows)
+				}
+				rows += int(r.hi - r.lo)
+				for row := int(r.lo); row < int(r.hi); row++ {
+					k := kern.FromScaledSqDist(kernel.ScaledSqDist(q, tree.Pts.Row(row), invH2))
+					farTrue += k
+					if k > kmax {
+						kmax = k
+					}
+				}
+			}
+			if rows != s.far.count {
+				t.Fatalf("d=%d query %d: far count %d != range rows %d", tc.d, i, s.far.count, rows)
+			}
+			if kmax > s.far.rmax {
+				t.Fatalf("d=%d query %d: far kernel %v exceeds certified bound %v", tc.d, i, kmax, s.far.rmax)
+			}
+			want := exact(tree, kern, q) * float64(tree.Size)
+			got := sumNear + farTrue
+			if math.Abs(got-want) > 1e-9*math.Max(want, 1e-300) {
+				t.Fatalf("d=%d query %d: near %v + far %v = %v != exact mass %v",
+					tc.d, i, sumNear, farTrue, got, want)
+			}
+			if s.far.count > 0 {
+				for _, u := range []int{0, s.far.count / 2, s.far.count - 1} {
+					row := s.farRow(u)
+					ok := false
+					for _, r := range s.far.ranges {
+						if row >= int(r.lo) && row < int(r.hi) {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						t.Fatalf("d=%d query %d: farRow(%d) = %d outside every range", tc.d, i, u, row)
+					}
+				}
+			}
+		}
+	}
+}

@@ -356,6 +356,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		"dim":         clf.Dim(),
 		"threshold":   clf.Threshold(),
 		"bandwidths":  clf.Bandwidths(),
+		"backend":     clf.Backend(),
 		"streaming":   s.svc != nil,
 	}
 	if s.svc != nil {
@@ -399,6 +400,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeGauge("tkdc_model_threshold", clf.Threshold())
 	writeGauge("tkdc_model_generation", gen)
 	writeGauge("tkdc_model_age_seconds", time.Since(born).Seconds())
+	fmt.Fprintf(&b, "# TYPE tkdc_backend gauge\ntkdc_backend{name=%q} 1\n", clf.Backend())
 	writeGauge("tkdc_train_kernels_total", ts.TrainKernels)
 	writeGauge("tkdc_train_bootstrap_rounds", ts.BootstrapRounds)
 	writeGauge("tkdc_train_workers", ts.Workers)
@@ -444,6 +446,7 @@ func (s *Server) expvarSnapshot() map[string]any {
 			"dim":        clf.Dim(),
 			"threshold":  clf.Threshold(),
 			"generation": gen,
+			"backend":    clf.Backend(),
 		},
 		"http_requests": s.requests.Load(),
 	}

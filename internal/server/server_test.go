@@ -274,6 +274,51 @@ func TestMetricsUpdateAcrossRequests(t *testing.T) {
 	}
 }
 
+// TestModelReportsBackend checks the density backend shows up on every
+// observability surface: the GET /model descriptor, the /metrics
+// exposition (as a labeled gauge), and the expvar model map.
+func TestModelReportsBackend(t *testing.T) {
+	ts, _ := testServer(t)
+
+	resp, err := http.Get(ts.URL + "/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var model map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&model); err != nil {
+		t.Fatal(err)
+	}
+	if model["backend"] != core.BackendTree {
+		t.Fatalf("GET /model backend = %v, want %q (d=2 resolves to tree)", model["backend"], core.BackendTree)
+	}
+
+	metrics := getMetrics(t, ts.URL)
+	want := `tkdc_backend{name="` + core.BackendTree + `"} 1`
+	if !strings.Contains(metrics, want) {
+		t.Fatalf("/metrics missing %q", want)
+	}
+
+	vresp, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vresp.Body.Close()
+	var vars struct {
+		Tkdc struct {
+			Model struct {
+				Backend string `json:"backend"`
+			} `json:"model"`
+		} `json:"tkdc"`
+	}
+	if err := json.NewDecoder(vresp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Tkdc.Model.Backend != core.BackendTree {
+		t.Fatalf("expvar model backend = %q, want %q", vars.Tkdc.Model.Backend, core.BackendTree)
+	}
+}
+
 func TestPprofAndExpvar(t *testing.T) {
 	ts, _ := testServer(t)
 

@@ -289,6 +289,36 @@ func TestPrefillSeedsSample(t *testing.T) {
 	}
 }
 
+// TestRetrainInheritsBackend pins the lifecycle half of backend
+// selection: a service built without an explicit Train config retrains
+// with the initial model's configuration, so a forced density backend
+// survives every hot swap.
+func TestRetrainInheritsBackend(t *testing.T) {
+	cfg := testConfig()
+	cfg.Backend = core.BackendSampling // d=2 would auto-resolve to tree
+	initial, err := core.Train(gauss2D(400, 5, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(initial, Config{Capacity: 1000, Prefill: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Ingest(gauss2D(50, 6, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	cur := svc.Model().Current()
+	if cur == initial {
+		t.Fatal("retrain did not swap the model")
+	}
+	if cur.Backend() != core.BackendSampling {
+		t.Fatalf("retrained backend = %q, want inherited %q", cur.Backend(), core.BackendSampling)
+	}
+}
+
 func TestSnapshotOnSwapAndClose(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "model.tkdc")

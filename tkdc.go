@@ -108,6 +108,23 @@ const (
 	KernelEpanechnikov = core.KernelEpanechnikov
 )
 
+// Density backends. Config.Backend selects the engine answering density
+// queries: the certified tree traversal, the sampled far-field
+// estimator, or dimension-based auto-selection between them.
+const (
+	// BackendAuto picks the tree backend for d ≤ 8 and sampling above.
+	BackendAuto = core.BackendAuto
+	// BackendTree is the paper's certified branch-and-bound traversal.
+	BackendTree = core.BackendTree
+	// BackendSampling is the DEANN-style near/far split estimator with
+	// probabilistic (1−δ) bounds; it scales to dimensions where the
+	// tree's distance bounds degenerate.
+	BackendSampling = core.BackendSampling
+)
+
+// Backends lists the valid Config.Backend values.
+func Backends() []string { return core.Backends() }
+
 // k-d tree split rules.
 const (
 	// SplitEquiWidth splits nodes at the trimmed midpoint
