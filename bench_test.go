@@ -194,9 +194,13 @@ func BenchmarkScoreParallel(b *testing.B) {
 // BenchmarkScoreTelemetry measures the recorder's hot-path cost: "off"
 // is the default no-op recorder (one atomic bool load per query, the
 // configuration BenchmarkScore runs under), "on" a live registry taking
-// two time reads plus histogram updates per query. The off/on delta is
-// the price of the observability layer; off must stay within noise of
-// BenchmarkScore.
+// two time reads plus histogram updates per query, "flight-disabled" a
+// registry with a flight recorder attached but tracing switched off
+// (one extra atomic pointer load + bool check — must stay within noise
+// of "on"), and "flight" full per-query trace capture into the
+// recorder's rings. The off/on delta is the price of the observability
+// layer; off must stay within noise of BenchmarkScore, and the CI
+// telemetry-overhead guard compares off vs flight-disabled.
 func BenchmarkScoreTelemetry(b *testing.B) {
 	const n = 50000
 	data := benchData(b, "gauss", n, 2)
@@ -207,6 +211,20 @@ func BenchmarkScoreTelemetry(b *testing.B) {
 	b.Run("on", func(b *testing.B) {
 		reg := tkdc.NewRegistry()
 		clf := benchClassifier(b, "teleon", data, func(c *tkdc.Config) { c.Recorder = reg })
+		scoreLoop(b, clf, data)
+	})
+	b.Run("flight-disabled", func(b *testing.B) {
+		reg := tkdc.NewRegistry()
+		flight := tkdc.NewFlightRecorder(tkdc.FlightOptions{})
+		flight.SetEnabled(false)
+		reg.AttachFlightRecorder(flight)
+		clf := benchClassifier(b, "teleflightoff", data, func(c *tkdc.Config) { c.Recorder = reg })
+		scoreLoop(b, clf, data)
+	})
+	b.Run("flight", func(b *testing.B) {
+		reg := tkdc.NewRegistry()
+		reg.AttachFlightRecorder(tkdc.NewFlightRecorder(tkdc.FlightOptions{}))
+		clf := benchClassifier(b, "teleflight", data, func(c *tkdc.Config) { c.Recorder = reg })
 		scoreLoop(b, clf, data)
 	})
 }

@@ -9,6 +9,8 @@
 //	tkdc -train data.csv -save model.tkdc     # persist the trained model
 //	tkdc -load model.tkdc -query probes.csv   # serve queries, no retraining
 //	tkdc -train data.csv -stats               # post-run telemetry summary
+//	tkdc -train data.csv -stats -trace-slow 1ms
+//	                                          # flight-record queries, log slow ones
 //	tkdc -train data.csv -serve :8080         # HTTP serving mode
 //	tkdc -train data.csv -serve :8080 -stream -retrain-every 10000
 //	                                          # streaming ingest + retrains
@@ -16,9 +18,14 @@
 // Output is CSV: label[,lower,upper] per query row, preceded by a summary
 // of the trained model on stderr. With -stats, a telemetry report (train
 // phase spans, query latency percentiles, kernels per query) follows on
-// stderr. With -serve, no batch classification happens; instead the
-// process serves POST /classify (CSV or JSON rows) plus /metrics,
-// /healthz, and /debug/pprof/* until interrupted. Adding -stream also
+// stderr. With -trace-slow, every query leaves a flight record — a
+// per-stage trace of the work it did — retained for the slowest and most
+// recent queries plus every threshold-straddler; queries at least that
+// slow are additionally logged as they happen, and the recorder's summary
+// joins the -stats report (or GET /debug/queries under -serve). With
+// -serve, no batch classification happens; instead the process serves
+// POST /classify (CSV or JSON rows) plus /metrics, /healthz,
+// /debug/queries, and /debug/pprof/* until interrupted. Adding -stream also
 // accepts POST /ingest into a bounded sample and retrains in the
 // background (-retrain-every rows, -max-model-age, -drift-tolerance),
 // hot-swapping the model without interrupting queries; -window trades
@@ -64,6 +71,7 @@ func main() {
 		density   = flag.Bool("density", false, "print density bounds alongside labels")
 		stats     = flag.Bool("stats", false, "print a post-run telemetry summary to stderr")
 		serve     = flag.String("serve", "", "serve HTTP on this address (e.g. :8080) instead of batch-classifying")
+		traceSlow = flag.Duration("trace-slow", 0, "record per-query flight traces (GET /debug/queries, -stats summary) and log queries at least this slow (0 traces without slow-logging)")
 
 		streamMode   = flag.Bool("stream", false, "with -serve: accept POST /ingest and retrain in the background")
 		retrainEvery = flag.Int64("retrain-every", 0, "with -stream: retrain after this many newly ingested rows (0 disables)")
@@ -82,11 +90,28 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The slow-log threshold of 0 is meaningful (trace everything, log
+	// nothing), so flag presence — not value — turns the recorder on.
+	traceSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "trace-slow" {
+			traceSet = true
+		}
+	})
+
 	// -stats and -serve both record into the process-wide registry, so
 	// tkdc.Metrics() and the /metrics endpoint see the same stream.
 	var reg *telemetry.Registry
-	if *stats || *serve != "" {
+	if *stats || *serve != "" || traceSet {
 		reg = telemetry.Default
+	}
+	var flight *telemetry.FlightRecorder
+	if traceSet {
+		flight = telemetry.NewFlightRecorder(telemetry.FlightOptions{
+			SlowThreshold: *traceSlow,
+			Logger:        slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		})
+		reg.AttachFlightRecorder(flight)
 	}
 
 	var clf *tkdc.Classifier
@@ -174,7 +199,7 @@ func main() {
 			}
 			svc.Start()
 		}
-		runServer(clf, reg, *serve, svc)
+		runServer(clf, reg, flight, *serve, svc)
 		if svc != nil {
 			if err := svc.Close(); err != nil {
 				fail(err)
@@ -210,16 +235,19 @@ func main() {
 	w.Flush()
 
 	if *stats {
-		fmt.Fprintf(os.Stderr, "tkdc: telemetry\n%s", indent(clf.Snapshot().String()))
+		fmt.Fprintf(os.Stderr, "tkdc: telemetry (backend %s)\n%s", clf.Backend(), indent(clf.Snapshot().String()))
+		if flight != nil {
+			fmt.Fprintf(os.Stderr, "tkdc: flight recorder\n%s", indent(flight.Snapshot().String()))
+		}
 	}
 }
 
 // runServer blocks serving HTTP until SIGINT/SIGTERM, then shuts down
 // gracefully. With a non-nil streaming service, the handlers serve its
 // live model and accept ingest; the caller owns the service lifecycle.
-func runServer(clf *tkdc.Classifier, reg *telemetry.Registry, addr string, svc *tkdc.StreamService) {
+func runServer(clf *tkdc.Classifier, reg *telemetry.Registry, flight *telemetry.FlightRecorder, addr string, svc *tkdc.StreamService) {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	handler := server.New(clf, server.Options{Registry: reg, Logger: logger, Stream: svc})
+	handler := server.New(clf, server.Options{Registry: reg, Logger: logger, Stream: svc, Flight: flight})
 	srv := newHTTPServer(addr, handler)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

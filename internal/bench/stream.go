@@ -34,7 +34,7 @@ func StreamLifecycle(opts Options) ([]Table, error) {
 
 	t := Table{
 		Title:   "Streaming lifecycle: query latency under ingest + retrain churn",
-		Columns: []string{"Regime", "Queries", "p50 us", "p99 us", "Queries/s", "Retrains"},
+		Columns: []string{"Regime", "Queries", "p50 us", "p99 us", "p999 us", "Queries/s", "Retrains"},
 	}
 
 	// Regime 1: the classifier queried directly — the floor.
@@ -46,7 +46,7 @@ func StreamLifecycle(opts Options) ([]Table, error) {
 		return nil, err
 	}
 	t.AddRow("direct", fmtCount(float64(len(queries))),
-		fmtMicros(direct.p50), fmtMicros(direct.p99), fmtRate(direct.qps), "-")
+		fmtMicros(direct.p50), fmtMicros(direct.p99), fmtMicros(direct.p999), fmtRate(direct.qps), "-")
 
 	// Regime 2: through the Model handle, nothing churning.
 	model := stream.NewModel(clf)
@@ -58,7 +58,7 @@ func StreamLifecycle(opts Options) ([]Table, error) {
 		return nil, err
 	}
 	t.AddRow("handle/quiet", fmtCount(float64(len(queries))),
-		fmtMicros(quiet.p50), fmtMicros(quiet.p99), fmtRate(quiet.qps), "-")
+		fmtMicros(quiet.p50), fmtMicros(quiet.p99), fmtMicros(quiet.p999), fmtRate(quiet.qps), "-")
 
 	// Regime 3: the full lifecycle — one goroutine feeds drifting batches,
 	// another forces back-to-back retrains, and the measured reader
@@ -128,7 +128,7 @@ func StreamLifecycle(opts Options) ([]Table, error) {
 	}
 	st := svc.Stats()
 	t.AddRow("handle/churn", fmtCount(float64(len(queries))),
-		fmtMicros(churned.p50), fmtMicros(churned.p99), fmtRate(churned.qps),
+		fmtMicros(churned.p50), fmtMicros(churned.p99), fmtMicros(churned.p999), fmtRate(churned.qps),
 		fmtCount(float64(st.Retrains)))
 	t.Notes = append(t.Notes,
 		"churn regime: 64-row drifting batches ingested and retrains forced back-to-back while the reader queries",
@@ -140,8 +140,8 @@ func StreamLifecycle(opts Options) ([]Table, error) {
 
 // latencyStats summarizes one measured query pass.
 type latencyStats struct {
-	p50, p99 float64 // seconds
-	qps      float64
+	p50, p99, p999 float64 // seconds
+	qps            float64
 }
 
 // measureLatency times score one query at a time, returning latency
@@ -159,9 +159,10 @@ func measureLatency(queries [][]float64, score func([]float64) error) (latencySt
 	total := time.Since(start).Seconds()
 	sort.Float64s(lat)
 	return latencyStats{
-		p50: lat[len(lat)/2],
-		p99: lat[len(lat)*99/100],
-		qps: float64(len(lat)) / total,
+		p50:  lat[len(lat)/2],
+		p99:  lat[len(lat)*99/100],
+		p999: lat[len(lat)*999/1000],
+		qps:  float64(len(lat)) / total,
 	}, nil
 }
 

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+
+	"tkdc/internal/core"
+	"tkdc/internal/dataset"
+	"tkdc/internal/telemetry"
+)
+
+// TraceOverhead measures what observability costs at query time. One
+// classifier answers the same workload under three regimes — telemetry
+// fully off, the counter/histogram registry attached, and the registry
+// with a flight recorder tracing every query — so the overhead of each
+// layer is visible as a throughput delta against the bare floor. The
+// contract being checked: attaching the registry with tracing disabled
+// must be within noise of off (the hot path sees one atomic load), and
+// full per-query tracing should cost single-digit percent on non-trivial
+// workloads.
+func TraceOverhead(opts Options) ([]Table, error) {
+	opts = opts.normalized()
+	n := opts.scaled(100_000, 2000)
+	data := dataset.Gauss(n, 2, opts.Seed)
+	queries := data
+	if len(queries) > opts.MaxQueries {
+		queries = queries[:opts.MaxQueries]
+	}
+
+	// Train without a recorder: regimes attach their own via SetRecorder.
+	cfg := opts.config()
+	cfg.Recorder = nil
+	clf, err := core.Train(data, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	t := Table{
+		Title:   "Telemetry overhead: per-query cost of counters and flight tracing",
+		Columns: []string{"Regime", "Queries", "p50 us", "p99 us", "p999 us", "Queries/s", "Overhead"},
+	}
+
+	reg := telemetry.NewRegistry()
+	flight := telemetry.NewFlightRecorder(telemetry.FlightOptions{
+		// Discard the slow log: the regime measures trace capture, not
+		// logging; a real deployment sets a threshold instead.
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+
+	regimes := []struct {
+		name  string
+		setup func()
+	}{
+		{"off", func() { clf.SetRecorder(nil) }},
+		{"registry", func() { clf.SetRecorder(reg) }},
+		{"registry+flight", func() {
+			reg.AttachFlightRecorder(flight)
+			clf.SetRecorder(reg)
+		}},
+	}
+
+	var floor float64
+	for i, r := range regimes {
+		r.setup()
+		// One untimed warm pass per regime so pool and cache state is
+		// steady before measurement.
+		for _, q := range queries {
+			if _, err := clf.Score(q); err != nil {
+				return nil, err
+			}
+		}
+		m, err := measureLatency(queries, func(q []float64) error {
+			_, err := clf.Score(q)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		overhead := "-"
+		if i == 0 {
+			floor = m.qps
+		} else if floor > 0 && m.qps > 0 {
+			overhead = fmt.Sprintf("%+.1f%%", (floor/m.qps-1)*100)
+		}
+		t.AddRow(r.name, fmtCount(float64(len(queries))),
+			fmtMicros(m.p50), fmtMicros(m.p99), fmtMicros(m.p999),
+			fmtRate(m.qps), overhead)
+	}
+
+	t.Notes = append(t.Notes,
+		"overhead is relative throughput loss vs the off regime (positive = slower)",
+		fmt.Sprintf("flight regime traces every query; recorder retained %d traces", len(flight.Snapshot().Recent)))
+
+	t.Fprint(opts.Out)
+	return []Table{t}, nil
+}

@@ -153,14 +153,14 @@ type samplingBackend struct {
 }
 
 func (b *samplingBackend) BoundDensity(x []float64, tl, tu, tolCut float64, stats *QueryStats) (fl, fu, est float64) {
-	var w estimator.Work
+	w := estimator.Work{Trace: stats.Trace}
 	fl, fu, est = b.s.BoundDensity(x, tl, tu, tolCut, &w)
 	addWork(stats, w)
 	return fl, fu, est
 }
 
 func (b *samplingBackend) EstimateDensity(x []float64, rel float64, stats *QueryStats) (fl, fu, est float64) {
-	var w estimator.Work
+	w := estimator.Work{Trace: stats.Trace}
 	fl, fu, est = b.s.EstimateDensity(x, rel, &w)
 	addWork(stats, w)
 	return fl, fu, est
@@ -180,6 +180,8 @@ func addWork(stats *QueryStats, w estimator.Work) {
 	stats.PointKernels += w.PointKernels
 	stats.BoundKernels += w.BoundKernels
 	stats.NodesVisited += w.NodesVisited
+	stats.SamplingRounds += w.FarRounds
+	stats.SampledPoints += w.FarSamples
 }
 
 // backendError builds the rejection for an unknown Config.Backend.

@@ -66,6 +66,10 @@ type Counters struct {
 	PointKernels int64
 	BoundKernels int64
 	NodesVisited int64
+	// SamplingRounds and SampledPoints total the sampling backend's
+	// far-field rounds and sample draws (zero under the tree backend).
+	SamplingRounds int64
+	SampledPoints  int64
 }
 
 // Kernels returns total kernel evaluations, point and bound combined.
@@ -106,6 +110,8 @@ func (w *workCounters) add(queries, gridHits int64, qs QueryStats) {
 	s.c.PointKernels += qs.PointKernels
 	s.c.BoundKernels += qs.BoundKernels
 	s.c.NodesVisited += qs.NodesVisited
+	s.c.SamplingRounds += qs.SamplingRounds
+	s.c.SampledPoints += qs.SampledPoints
 	s.mu.Unlock()
 }
 
@@ -125,6 +131,8 @@ func (w *workCounters) snapshot() Counters {
 		total.PointKernels += c.PointKernels
 		total.BoundKernels += c.BoundKernels
 		total.NodesVisited += c.NodesVisited
+		total.SamplingRounds += c.SamplingRounds
+		total.SampledPoints += c.SampledPoints
 	}
 	return total
 }
@@ -176,6 +184,11 @@ type Classifier struct {
 
 	counters workCounters
 	rec      telemetry.Recorder
+	// sink is the recorder's TraceSink view, type-asserted once at
+	// attach time so the per-query gate is a direct interface call
+	// rather than a per-query assertion. Nil when the recorder cannot
+	// trace.
+	sink telemetry.TraceSink
 }
 
 // Train fits a tKDC classifier to a slice-of-rows dataset. The rows are
@@ -347,6 +360,7 @@ func assemble(data *points.Store, cfg Config) (*Classifier, error) {
 		selfContrib: kern.AtZero() / float64(data.Len()),
 		rec:         rec,
 	}
+	c.sink, _ = rec.(telemetry.TraceSink)
 	c.estPool.New = func() any {
 		return newQueryBackend(c.tree, c.kern, cfg)
 	}
@@ -468,8 +482,21 @@ func (c *Classifier) Score(x []float64) (Result, error) {
 func (c *Classifier) scoreChecked(x []float64) Result {
 	traced := c.rec.Enabled()
 	var start time.Time
+	var tr *telemetry.QueryTrace
 	if traced {
 		start = time.Now()
+		// Per-query flight records ride on the aggregate-telemetry gate:
+		// they exist only when the recorder is also a TraceSink with an
+		// enabled flight recorder behind it.
+		if c.sink != nil && c.sink.TraceEnabled() {
+			tr = c.sink.StartTrace()
+			if tr != nil {
+				tr.Start = start
+				tr.Kind = "score"
+				tr.Query = append([]float64(nil), x...)
+				tr.Threshold = c.threshold
+			}
+		}
 	}
 
 	gridChecked := c.grid != nil
@@ -478,8 +505,22 @@ func (c *Classifier) scoreChecked(x []float64) Result {
 			c.counters.add(1, 1, QueryStats{})
 			if traced {
 				c.grid.Observe(true)
+				lat := time.Since(start)
+				if tr != nil {
+					tr.Latency = lat
+					tr.Backend = "grid"
+					tr.Label = High.String()
+					tr.Lower = lb
+					tr.Upper = math.Inf(1)
+					tr.Estimate = lb
+					tr.Margin = lb - c.threshold
+					tr.Certified = true
+					tr.GridHit = true
+					tr.Items = 1
+					c.sink.FinishTrace(tr)
+				}
 				c.rec.RecordQuery(telemetry.QuerySample{
-					Latency:     time.Since(start),
+					Latency:     lat,
 					GridChecked: true,
 					GridHit:     true,
 				})
@@ -499,22 +540,44 @@ func (c *Classifier) scoreChecked(x []float64) Result {
 
 	est := c.getEstimator()
 	var qs QueryStats
+	qs.Trace = tr
 	fl, fu, f := est.BoundDensity(x, c.threshold, c.threshold, c.cfg.Epsilon*c.threshold, &qs)
+	backendName, certified := est.Name(), est.Certified()
 	c.putEstimator(est)
+	qs.Trace = nil
 	c.counters.add(1, 0, qs)
-	if traced {
-		c.rec.RecordQuery(telemetry.QuerySample{
-			Latency:      time.Since(start),
-			PointKernels: qs.PointKernels,
-			BoundKernels: qs.BoundKernels,
-			Nodes:        qs.NodesVisited,
-			GridChecked:  gridChecked,
-		})
-	}
 
 	label := Low
 	if f > c.threshold {
 		label = High
+	}
+	if traced {
+		lat := time.Since(start)
+		if tr != nil {
+			tr.Latency = lat
+			tr.Backend = backendName
+			tr.Label = label.String()
+			tr.Lower = fl
+			tr.Upper = fu
+			tr.Estimate = f
+			tr.Margin = f - c.threshold
+			tr.Straddle = fl <= c.threshold && c.threshold <= fu
+			tr.Certified = certified
+			tr.PointKernels = qs.PointKernels
+			tr.BoundKernels = qs.BoundKernels
+			tr.Nodes = qs.NodesVisited
+			tr.Items = 1
+			c.sink.FinishTrace(tr)
+		}
+		c.rec.RecordQuery(telemetry.QuerySample{
+			Latency:        lat,
+			PointKernels:   qs.PointKernels,
+			BoundKernels:   qs.BoundKernels,
+			Nodes:          qs.NodesVisited,
+			GridChecked:    gridChecked,
+			SamplingRounds: qs.SamplingRounds,
+			SampledPoints:  qs.SampledPoints,
+		})
 	}
 	return Result{Label: label, Lower: fl, Upper: fu, Density: f, Stats: qs}
 }
@@ -569,20 +632,49 @@ func (c *Classifier) DensityBounds(x []float64, rel float64) (fl, fu float64, er
 	}
 	traced := c.rec.Enabled()
 	var start time.Time
+	var tr *telemetry.QueryTrace
 	if traced {
 		start = time.Now()
+		if c.sink != nil && c.sink.TraceEnabled() {
+			tr = c.sink.StartTrace()
+			if tr != nil {
+				tr.Start = start
+				tr.Kind = "density"
+				tr.Query = append([]float64(nil), x...)
+			}
+		}
 	}
 	est := c.getEstimator()
 	var qs QueryStats
-	fl, fu, _ = est.EstimateDensity(x, rel, &qs)
+	qs.Trace = tr
+	var f float64
+	fl, fu, f = est.EstimateDensity(x, rel, &qs)
+	backendName, certified := est.Name(), est.Certified()
 	c.putEstimator(est)
+	qs.Trace = nil
 	c.counters.add(1, 0, qs)
 	if traced {
+		lat := time.Since(start)
+		if tr != nil {
+			tr.Latency = lat
+			tr.Backend = backendName
+			tr.Lower = fl
+			tr.Upper = fu
+			tr.Estimate = f
+			tr.Certified = certified
+			tr.PointKernels = qs.PointKernels
+			tr.BoundKernels = qs.BoundKernels
+			tr.Nodes = qs.NodesVisited
+			tr.Items = 1
+			c.sink.FinishTrace(tr)
+		}
 		c.rec.RecordQuery(telemetry.QuerySample{
-			Latency:      time.Since(start),
-			PointKernels: qs.PointKernels,
-			BoundKernels: qs.BoundKernels,
-			Nodes:        qs.NodesVisited,
+			Latency:        lat,
+			PointKernels:   qs.PointKernels,
+			BoundKernels:   qs.BoundKernels,
+			Nodes:          qs.NodesVisited,
+			SamplingRounds: qs.SamplingRounds,
+			SampledPoints:  qs.SampledPoints,
 		})
 	}
 	return fl, fu, nil
@@ -656,6 +748,7 @@ func (c *Classifier) SetRecorder(r telemetry.Recorder) {
 		r = telemetry.Nop{}
 	}
 	c.rec = r
+	c.sink, _ = r.(telemetry.TraceSink)
 }
 
 // SetWorkers replaces the classifier's worker budget (Config.Workers):

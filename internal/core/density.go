@@ -1,9 +1,12 @@
 package core
 
 import (
+	"time"
+
 	"tkdc/internal/kdtree"
 	"tkdc/internal/kernel"
 	"tkdc/internal/points"
+	"tkdc/internal/telemetry"
 )
 
 // QueryStats counts the work one density query performed.
@@ -16,9 +19,17 @@ type QueryStats struct {
 	BoundKernels int64
 	// NodesVisited counts k-d tree nodes popped from the priority queue.
 	NodesVisited int64
+	// SamplingRounds and SampledPoints count the sampling backend's
+	// far-field rounds and sample draws (zero on the tree backend).
+	SamplingRounds int64
+	SampledPoints  int64
 	// GridHit records whether the hypergrid cache answered the query
 	// before any tree traversal.
 	GridHit bool
+	// Trace, when non-nil, collects the query's typed stage records. The
+	// backends only touch it behind nil checks, so the untraced path
+	// carries a nil pointer and nothing else.
+	Trace *telemetry.QueryTrace
 }
 
 // Kernels returns the total kernel evaluations, point and bound combined —
@@ -29,6 +40,8 @@ func (q *QueryStats) add(o QueryStats) {
 	q.PointKernels += o.PointKernels
 	q.BoundKernels += o.BoundKernels
 	q.NodesVisited += o.NodesVisited
+	q.SamplingRounds += o.SamplingRounds
+	q.SampledPoints += o.SampledPoints
 	if o.GridHit {
 		q.GridHit = true
 	}
@@ -150,6 +163,16 @@ func (e *densityEstimator) weights(id int32, x []float64) (wlo, whi float64) {
 // the density exactly (up to floating point), which is the
 // factor-analysis baseline of Figure 12.
 func (e *densityEstimator) boundDensity(x []float64, tl, tu, tolCut float64, stats *QueryStats) (fl, fu float64) {
+	tr := stats.Trace
+	var stageStart time.Time
+	var nodes0, pts0, bounds0 int64
+	var pushes int64
+	var maxID int32
+	if tr != nil {
+		stageStart = time.Now()
+		nodes0, pts0, bounds0 = stats.NodesVisited, stats.PointKernels, stats.BoundKernels
+	}
+
 	e.heap.items = e.heap.items[:0]
 	t := e.tree
 
@@ -194,6 +217,12 @@ func (e *densityEstimator) boundDensity(x []float64, tl, tu, tolCut float64, sta
 			fl += cwlo
 			fu += cwhi
 			e.heap.push(heapItem{id: child, wlo: cwlo, whi: cwhi})
+			if tr != nil {
+				pushes++
+				if child > maxID {
+					maxID = child
+				}
+			}
 		}
 	}
 	// Guard against floating-point drift pushing the bounds negative or
@@ -204,6 +233,22 @@ func (e *densityEstimator) boundDensity(x []float64, tl, tu, tolCut float64, sta
 	if fu < fl {
 		fu = fl
 	}
+	if tr != nil {
+		// BFS ids grow with depth, so the largest id pushed marks the
+		// deepest level the refinement reached.
+		tr.AddStage(telemetry.TraceStage{
+			Name:     "tree/refine",
+			Duration: time.Since(stageStart),
+			Nodes:    stats.NodesVisited - nodes0,
+			Pushes:   pushes,
+			Points:   stats.PointKernels - pts0,
+			Bounds:   stats.BoundKernels - bounds0,
+			Depth:    t.Depth(maxID),
+			Lower:    fl,
+			Upper:    fu,
+			Band:     fu - fl,
+		})
+	}
 	return fl, fu
 }
 
@@ -213,6 +258,16 @@ func (e *densityEstimator) boundDensity(x []float64, tl, tu, tolCut float64, sta
 // of Gray & Moore used by the nocut baseline and by callers that need
 // density values rather than classifications.
 func (e *densityEstimator) estimateDensity(x []float64, rel float64, stats *QueryStats) (fl, fu float64) {
+	tr := stats.Trace
+	var stageStart time.Time
+	var nodes0, pts0, bounds0 int64
+	var pushes int64
+	var maxID int32
+	if tr != nil {
+		stageStart = time.Now()
+		nodes0, pts0, bounds0 = stats.NodesVisited, stats.PointKernels, stats.BoundKernels
+	}
+
 	e.heap.items = e.heap.items[:0]
 	t := e.tree
 
@@ -250,6 +305,12 @@ func (e *densityEstimator) estimateDensity(x []float64, rel float64, stats *Quer
 			fl += cwlo
 			fu += cwhi
 			e.heap.push(heapItem{id: child, wlo: cwlo, whi: cwhi})
+			if tr != nil {
+				pushes++
+				if child > maxID {
+					maxID = child
+				}
+			}
 		}
 	}
 	if fl < 0 {
@@ -257,6 +318,20 @@ func (e *densityEstimator) estimateDensity(x []float64, rel float64, stats *Quer
 	}
 	if fu < fl {
 		fu = fl
+	}
+	if tr != nil {
+		tr.AddStage(telemetry.TraceStage{
+			Name:     "tree/estimate",
+			Duration: time.Since(stageStart),
+			Nodes:    stats.NodesVisited - nodes0,
+			Pushes:   pushes,
+			Points:   stats.PointKernels - pts0,
+			Bounds:   stats.BoundKernels - bounds0,
+			Depth:    t.Depth(maxID),
+			Lower:    fl,
+			Upper:    fu,
+			Band:     fu - fl,
+		})
 	}
 	return fl, fu
 }

@@ -55,16 +55,44 @@ func (c *Classifier) ClassifyAllDualTree(points [][]float64) ([]Label, error) {
 		return c.ClassifyAll(points)
 	}
 	defer c.putEstimator(est)
+	var tr *telemetry.QueryTrace
+	if traced && c.sink != nil && c.sink.TraceEnabled() {
+		tr = c.sink.StartTrace()
+	}
 	g := &groupClassifier{c: c, est: est, points: points, out: out}
 	g.classify(idx, 0)
 	c.counters.add(int64(len(points)), g.gridHits, g.stats)
 	if traced {
-		// The dual-tree pass amortizes one traversal over many queries,
-		// so per-query latency is meaningless; trace the batch as a span
-		// instead.
+		lat := time.Since(start)
+		if tr != nil {
+			// One flight record covers the whole batch: per-query latency
+			// is meaningless when a single traversal answers a group, so
+			// the stages attribute queries to the certified-group and
+			// per-query-fallback regimes instead.
+			tr.Start = start
+			tr.Latency = lat
+			tr.Kind = "dualtree"
+			tr.Backend = BackendTree
+			tr.Threshold = c.threshold
+			tr.Certified = true
+			tr.PointKernels = g.stats.PointKernels
+			tr.BoundKernels = g.stats.BoundKernels
+			tr.Nodes = g.stats.NodesVisited
+			tr.Items = int64(len(points))
+			tr.AddStage(telemetry.TraceStage{
+				Name:    "groups/certified",
+				Groups:  g.certGroups,
+				Queries: g.certQueries,
+			})
+			tr.AddStage(telemetry.TraceStage{
+				Name:    "groups/fallback",
+				Queries: g.fallbackQueries,
+			})
+			c.sink.FinishTrace(tr)
+		}
 		c.rec.RecordSpan(telemetry.Span{
 			Name:     "dualtree/batch",
-			Duration: time.Since(start),
+			Duration: lat,
 			Kernels:  g.stats.Kernels(),
 			Items:    int64(len(points)),
 		})
@@ -80,6 +108,12 @@ type groupClassifier struct {
 	out      []Label
 	stats    QueryStats
 	gridHits int64
+	// certGroups/certQueries count groups certified in one traversal and
+	// the queries they answered; fallbackQueries counts individual
+	// per-query traversals (flight-record attribution).
+	certGroups      int64
+	certQueries     int64
+	fallbackQueries int64
 }
 
 // groupLeafSize is the group size at which the pass falls back to
@@ -112,6 +146,8 @@ func (g *groupClassifier) classify(idx []int, depth int) {
 	}
 	if diagSq <= float64(len(lo)) {
 		if label, ok := g.certify(lo, hi); ok {
+			g.certGroups++
+			g.certQueries += int64(len(idx))
 			for _, i := range idx {
 				g.out[i] = label
 			}
@@ -133,6 +169,7 @@ func (g *groupClassifier) classify(idx []int, depth int) {
 	if hi[dim] == lo[dim] {
 		// All queries identical: one traversal answers them all.
 		label := g.scoreOne(g.points[idx[0]])
+		g.certQueries += int64(len(idx) - 1)
 		for _, i := range idx {
 			g.out[i] = label
 		}
@@ -171,6 +208,7 @@ func (g *groupClassifier) fallback(idx []int) {
 // scoreOne mirrors Classifier.Score's decision using the shared estimator
 // and aggregated stats.
 func (g *groupClassifier) scoreOne(x []float64) Label {
+	g.fallbackQueries++
 	c := g.c
 	if c.grid != nil {
 		if lb := c.grid.LowerBoundDensity(x, c.gridKDiag); lb > c.threshold {

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tkdc/internal/telemetry"
+)
+
+// tracedClassifier trains a classifier with a registry + flight recorder
+// attached, returning all three.
+func tracedClassifier(t *testing.T, data [][]float64, mut func(*Config)) (*Classifier, *telemetry.Registry, *telemetry.FlightRecorder) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	flight := telemetry.NewFlightRecorder(telemetry.FlightOptions{K: 64})
+	reg.AttachFlightRecorder(flight)
+	cfg := testConfig()
+	cfg.Recorder = reg
+	if mut != nil {
+		mut(&cfg)
+	}
+	c, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, reg, flight
+}
+
+// TestScoreTraceTreeBackend checks the full flight-record wiring on the
+// certified tree traversal: every query files one trace whose identity
+// fields, bounds, and per-stage breakdown describe the work done.
+func TestScoreTraceTreeBackend(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	data := gauss2D(rng, 1200)
+	c, _, flight := tracedClassifier(t, data, func(cfg *Config) {
+		cfg.Backend = BackendTree
+		cfg.DisableGrid = true // force traversal so every trace has stages
+	})
+
+	const queries = 40
+	straddled := 0
+	for i := 0; i < queries; i++ {
+		q := []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+		r, err := c.Score(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Lower <= c.Threshold() && c.Threshold() <= r.Upper {
+			straddled++
+		}
+	}
+
+	snap := flight.Snapshot()
+	if snap.Traced != queries {
+		t.Fatalf("Traced = %d, want %d", snap.Traced, queries)
+	}
+	if int(snap.Straddled) != straddled {
+		t.Fatalf("Straddled = %d, want %d (queries whose bounds contained t)", snap.Straddled, straddled)
+	}
+	if len(snap.Recent) != queries {
+		t.Fatalf("Recent holds %d traces, want %d (K=64 > queries)", len(snap.Recent), queries)
+	}
+	for _, tr := range snap.Recent {
+		if tr.Kind != "score" || tr.Backend != BackendTree {
+			t.Fatalf("trace kind/backend = %q/%q, want score/tree", tr.Kind, tr.Backend)
+		}
+		if !tr.Certified {
+			t.Fatal("tree-backend trace not marked certified")
+		}
+		if tr.Latency <= 0 {
+			t.Fatalf("trace latency = %v, want > 0", tr.Latency)
+		}
+		if tr.Threshold != c.Threshold() {
+			t.Fatalf("trace threshold = %g, want %g", tr.Threshold, c.Threshold())
+		}
+		if tr.Lower > tr.Upper {
+			t.Fatalf("trace bounds inverted: [%g, %g]", tr.Lower, tr.Upper)
+		}
+		if tr.Margin != tr.Estimate-tr.Threshold {
+			t.Fatalf("margin = %g, want estimate-threshold = %g", tr.Margin, tr.Estimate-tr.Threshold)
+		}
+		if tr.Label != Low.String() && tr.Label != High.String() {
+			t.Fatalf("trace label = %q", tr.Label)
+		}
+		if len(tr.Query) != 2 {
+			t.Fatalf("trace query has %d coords, want 2", len(tr.Query))
+		}
+		if len(tr.Stages) == 0 {
+			t.Fatal("tree trace has no stages")
+		}
+		st := tr.Stages[0]
+		if st.Name != "tree/refine" {
+			t.Fatalf("stage name = %q, want tree/refine", st.Name)
+		}
+		// A query whose root bounds already clear the threshold pops zero
+		// nodes; otherwise the stage and trace totals must agree.
+		if st.Nodes != tr.Nodes {
+			t.Fatalf("stage nodes = %d, trace nodes = %d; want equal", st.Nodes, tr.Nodes)
+		}
+		if st.Depth < 1 {
+			t.Fatalf("stage depth = %d, want >= 1 (root level)", st.Depth)
+		}
+		if st.Bounds != tr.BoundKernels {
+			t.Fatalf("stage bound kernels = %d, trace = %d", st.Bounds, tr.BoundKernels)
+		}
+	}
+}
+
+// TestScoreTraceSamplingBackend checks traces from the sampled far-field
+// estimator: the near phase always appears, and any sampling rounds
+// report their running Bernstein band.
+func TestScoreTraceSamplingBackend(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	data := gauss2D(rng, 1500)
+	c, reg, flight := tracedClassifier(t, data, func(cfg *Config) {
+		cfg.Backend = BackendSampling
+		cfg.DisableGrid = true
+	})
+
+	const queries = 40
+	for i := 0; i < queries; i++ {
+		q := []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+		if _, err := c.Score(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := flight.Snapshot()
+	if snap.Traced != queries {
+		t.Fatalf("Traced = %d, want %d", snap.Traced, queries)
+	}
+	sawRound := false
+	for _, tr := range snap.Recent {
+		if tr.Backend != BackendSampling {
+			t.Fatalf("trace backend = %q, want sampling", tr.Backend)
+		}
+		if tr.Certified {
+			t.Fatal("sampling-backend trace marked certified; its bounds are probabilistic")
+		}
+		if len(tr.Stages) == 0 {
+			t.Fatal("sampling trace has no stages")
+		}
+		names := make([]string, len(tr.Stages))
+		for i, st := range tr.Stages {
+			names[i] = st.Name
+			if strings.HasPrefix(st.Name, "far/round-") {
+				sawRound = true
+				if st.Samples <= 0 {
+					t.Fatalf("sampling round stage reports %d samples", st.Samples)
+				}
+				if st.Band != st.Upper-st.Lower {
+					t.Fatalf("round band = %g, want upper-lower = %g", st.Band, st.Upper-st.Lower)
+				}
+			}
+		}
+		first := names[0]
+		if first != "near" && first != "exact" {
+			t.Fatalf("first sampling stage = %q, want near or exact (stages: %v)", first, names)
+		}
+	}
+	// The registry's sampling counters and the trace-visible rounds come
+	// from the same Work bookkeeping; with rounds seen, counters move.
+	if sawRound {
+		ms := reg.Snapshot()
+		if ms.SamplingRounds <= 0 || ms.SampledPoints <= 0 {
+			t.Fatalf("far rounds traced but registry counters empty: rounds=%d points=%d",
+				ms.SamplingRounds, ms.SampledPoints)
+		}
+	}
+}
+
+// TestGridHitTrace checks the grid fast path leaves a minimal certified
+// trace rather than escaping the recorder.
+func TestGridHitTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	data := gauss2D(rng, 1500)
+	c, _, flight := tracedClassifier(t, data, func(cfg *Config) {
+		cfg.Backend = BackendTree
+	})
+
+	// Dense-core training points make grid hits likely; find one.
+	found := false
+	for i := 0; i < 500 && !found; i++ {
+		if _, err := c.Score(data[i]); err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range flight.Snapshot().Recent {
+			if tr.GridHit {
+				found = true
+				if tr.Backend != "grid" || tr.Label != High.String() || !tr.Certified {
+					t.Fatalf("grid-hit trace malformed: backend=%q label=%q certified=%v",
+						tr.Backend, tr.Label, tr.Certified)
+				}
+				break
+			}
+		}
+	}
+	if !found {
+		t.Skip("no grid hit among 500 training-point queries (grid disabled for this dimension?)")
+	}
+}
+
+// TestDensityBoundsTrace checks the density-query path (no threshold,
+// no label) also files traces.
+func TestDensityBoundsTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	data := gauss2D(rng, 1000)
+	c, _, flight := tracedClassifier(t, data, nil)
+
+	fl, fu, err := c.DensityBounds([]float64{0.5, -0.5}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := flight.Snapshot()
+	if snap.Traced != 1 {
+		t.Fatalf("Traced = %d, want 1", snap.Traced)
+	}
+	tr := snap.Recent[0]
+	if tr.Kind != "density" {
+		t.Fatalf("trace kind = %q, want density", tr.Kind)
+	}
+	if tr.Lower != fl || tr.Upper != fu {
+		t.Fatalf("trace bounds [%g, %g] disagree with returned [%g, %g]", tr.Lower, tr.Upper, fl, fu)
+	}
+	if tr.Straddle || tr.Label != "" {
+		t.Fatalf("density trace carries classification fields: straddle=%v label=%q", tr.Straddle, tr.Label)
+	}
+}
+
+// TestDualTreeBatchTrace checks the batch path files one flight record
+// attributing queries to the certified-group and fallback regimes.
+func TestDualTreeBatchTrace(t *testing.T) {
+	skipUnlessTreeEfficiency(t)
+	rng := rand.New(rand.NewSource(89))
+	data := gauss2D(rng, 1200)
+	c, _, flight := tracedClassifier(t, data, nil)
+
+	batch := data[:128]
+	if _, err := c.ClassifyAllDualTree(batch); err != nil {
+		t.Fatal(err)
+	}
+	snap := flight.Snapshot()
+	if snap.Traced != 1 {
+		t.Fatalf("Traced = %d, want 1 (one record per batch)", snap.Traced)
+	}
+	tr := snap.Recent[0]
+	if tr.Kind != "dualtree" || tr.Items != int64(len(batch)) {
+		t.Fatalf("batch trace kind=%q items=%d, want dualtree/%d", tr.Kind, tr.Items, len(batch))
+	}
+	if len(tr.Stages) != 2 || tr.Stages[0].Name != "groups/certified" || tr.Stages[1].Name != "groups/fallback" {
+		t.Fatalf("batch stages = %+v, want groups/certified + groups/fallback", tr.Stages)
+	}
+	if got := tr.Stages[0].Queries + tr.Stages[1].Queries; got != int64(len(batch)) {
+		t.Fatalf("stage query attribution sums to %d, want %d", got, len(batch))
+	}
+}
+
+// TestTraceDisabledLeavesNoTraces pins the gating: with the flight
+// recorder switched off (or absent) queries classify identically and the
+// recorder stays empty.
+func TestTraceDisabledLeavesNoTraces(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	data := gauss2D(rng, 1000)
+	c, _, flight := tracedClassifier(t, data, nil)
+	flight.SetEnabled(false)
+
+	for i := 0; i < 20; i++ {
+		if _, err := c.Score(data[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snap := flight.Snapshot(); snap.Traced != 0 {
+		t.Fatalf("disabled recorder filed %d traces", snap.Traced)
+	}
+	flight.SetEnabled(true)
+	if _, err := c.Score(data[0]); err != nil {
+		t.Fatal(err)
+	}
+	if snap := flight.Snapshot(); snap.Traced != 1 {
+		t.Fatalf("re-enabled recorder filed %d traces, want 1", snap.Traced)
+	}
+}

@@ -39,11 +39,14 @@
 package estimator
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"tkdc/internal/kdtree"
 	"tkdc/internal/kernel"
+	"tkdc/internal/telemetry"
 )
 
 // Default tuning parameters, used when Options leaves them zero.
@@ -93,6 +96,18 @@ type Work struct {
 	PointKernels int64
 	BoundKernels int64
 	NodesVisited int64
+	// FarRounds counts adaptive far-field sampling rounds (band
+	// re-evaluations) and FarSamples the kernel evaluations drawn inside
+	// them — a subset of PointKernels; the remainder is exact near-phase
+	// (or exact-fallback) work.
+	FarRounds  int64
+	FarSamples int64
+	// Trace, when non-nil, receives typed per-stage flight records: one
+	// "near" stage for the budgeted descent, one "far/round-N" stage per
+	// sampling round with the running Bernstein band, or an "exact"
+	// stage when a fallback swept the data. Stage timing and bookkeeping
+	// run only when Trace is set, keeping the untraced path unchanged.
+	Trace *telemetry.QueryTrace
 }
 
 // nearItem is one arena node awaiting near-phase processing.
@@ -282,6 +297,14 @@ func querySeed(seed int64, x []float64) int64 {
 // unresolved remainder. Rows in nodes wholly beyond the kernel's support
 // contribute an exact zero and appear in neither.
 func (s *Sampler) nearPhase(x []float64, w *Work) (sumNear float64) {
+	var stageStart time.Time
+	var nodes0, pts0, bounds0 int64
+	if w.Trace != nil {
+		stageStart = time.Now()
+		nodes0, pts0, bounds0 = w.NodesVisited, w.PointKernels, w.BoundKernels
+	}
+	depth := 0
+
 	t := s.tree
 	s.heap.items = s.heap.items[:0]
 	s.far.ranges = s.far.ranges[:0]
@@ -300,6 +323,7 @@ func (s *Sampler) nearPhase(x []float64, w *Work) (sumNear float64) {
 	it := nearItem{dmin: dmin, dmax: dmax, id: 0, count: int32(t.Size)}
 	for {
 		w.NodesVisited++
+		depth++
 		if it.dmin > s.nearSq {
 			s.addFar(it, w)
 			break
@@ -349,6 +373,17 @@ func (s *Sampler) nearPhase(x []float64, w *Work) (sumNear float64) {
 			s.heap.push(nearItem{dmin: cmin, dmax: cmax, id: child, count: int32(t.Count(child))})
 		}
 	}
+	if w.Trace != nil {
+		w.Trace.AddStage(telemetry.TraceStage{
+			Name:     "near",
+			Duration: time.Since(stageStart),
+			Nodes:    w.NodesVisited - nodes0,
+			Points:   w.PointKernels - pts0,
+			Bounds:   w.BoundKernels - bounds0,
+			Depth:    depth,
+			Budget:   s.nearNodes - budget,
+		})
+	}
 	return sumNear
 }
 
@@ -392,11 +427,24 @@ func (s *Sampler) farRow(u int) int {
 // fallback when the population is too small for sampling to pay off, or
 // when a caller demands precision the sample budget cannot deliver.
 func (s *Sampler) exactFar(x []float64, w *Work) float64 {
+	var stageStart time.Time
+	var pts0 int64
+	if w.Trace != nil {
+		stageStart = time.Now()
+		pts0 = w.PointKernels
+	}
 	t := s.tree
 	sum := 0.0
 	for _, r := range s.far.ranges {
 		sum += kernel.Sum(s.kern, x, t.Pts.Slab(int(r.lo), int(r.hi)))
 		w.PointKernels += int64(r.hi - r.lo)
+	}
+	if w.Trace != nil {
+		w.Trace.AddStage(telemetry.TraceStage{
+			Name:     "far/exact",
+			Duration: time.Since(stageStart),
+			Points:   w.PointKernels - pts0,
+		})
 	}
 	return sum
 }
@@ -461,8 +509,22 @@ func (s *Sampler) bounds(sumNear float64, st *farState) (fl, fu, est float64) {
 // exact computes the density by a full kernel sweep — the small-dataset
 // fallback.
 func (s *Sampler) exact(x []float64, w *Work) float64 {
+	var stageStart time.Time
+	if w.Trace != nil {
+		stageStart = time.Now()
+	}
 	w.PointKernels += int64(s.tree.Size)
-	return kernel.Sum(s.kern, x, s.tree.Pts.Data) / s.n
+	v := kernel.Sum(s.kern, x, s.tree.Pts.Data) / s.n
+	if w.Trace != nil {
+		w.Trace.AddStage(telemetry.TraceStage{
+			Name:     "exact",
+			Duration: time.Since(stageStart),
+			Points:   int64(s.tree.Size),
+			Lower:    v,
+			Upper:    v,
+		})
+	}
+	return v
 }
 
 // BoundDensity estimates the density at x under the threshold/tolerance
@@ -492,8 +554,23 @@ func (s *Sampler) BoundDensity(x []float64, tl, tu, tolCut float64, w *Work) (fl
 	var st farState
 	target := s.minSamples
 	for {
+		var roundStart time.Time
+		if w.Trace != nil {
+			roundStart = time.Now()
+		}
 		s.sampleTo(&st, x, target, w)
 		fl, fu, est = s.bounds(sumNear, &st)
+		w.FarRounds++
+		if w.Trace != nil {
+			w.Trace.AddStage(telemetry.TraceStage{
+				Name:     fmt.Sprintf("far/round-%d", w.FarRounds),
+				Duration: time.Since(roundStart),
+				Samples:  int64(st.m),
+				Lower:    fl,
+				Upper:    fu,
+				Band:     fu - fl,
+			})
+		}
 		if !s.disableThreshold && (fl > tu || fu < tl) {
 			break
 		}
@@ -508,6 +585,7 @@ func (s *Sampler) BoundDensity(x []float64, tl, tu, tolCut float64, w *Work) (fl
 			target = s.maxSamples
 		}
 	}
+	w.FarSamples += int64(st.m)
 	return fl, fu, est
 }
 
@@ -531,9 +609,25 @@ func (s *Sampler) EstimateDensity(x []float64, rel float64, w *Work) (fl, fu, es
 		var st farState
 		target := s.minSamples
 		for {
+			var roundStart time.Time
+			if w.Trace != nil {
+				roundStart = time.Now()
+			}
 			s.sampleTo(&st, x, target, w)
 			fl, fu, est = s.bounds(sumNear, &st)
+			w.FarRounds++
+			if w.Trace != nil {
+				w.Trace.AddStage(telemetry.TraceStage{
+					Name:     fmt.Sprintf("far/round-%d", w.FarRounds),
+					Duration: time.Since(roundStart),
+					Samples:  int64(st.m),
+					Lower:    fl,
+					Upper:    fu,
+					Band:     fu - fl,
+				})
+			}
 			if fu-fl <= rel*fl {
+				w.FarSamples += int64(st.m)
 				return fl, fu, est
 			}
 			if target >= s.maxSamples {
@@ -544,6 +638,7 @@ func (s *Sampler) EstimateDensity(x []float64, rel float64, w *Work) (fl, fu, es
 				target = s.maxSamples
 			}
 		}
+		w.FarSamples += int64(st.m)
 	}
 	v := (sumNear + s.exactFar(x, w)) / s.n
 	return v, v, v

@@ -1,6 +1,7 @@
 package estimator
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -8,6 +9,7 @@ import (
 	"tkdc/internal/kdtree"
 	"tkdc/internal/kernel"
 	"tkdc/internal/points"
+	"tkdc/internal/telemetry"
 )
 
 // buildIndex constructs a store, tree, and Scott-bandwidth Gaussian
@@ -313,5 +315,69 @@ func TestNearPhasePartition(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestFarRoundAccountingAndTrace pins the observability contract of the
+// sampling loop: FarRounds counts exactly the adaptive rounds, FarSamples
+// the far-field draws (a subset of PointKernels), and a trace attached to
+// the Work sees one "near" stage followed by one "far/round-N" stage per
+// round with a shrinking-or-equal cumulative sample count. Accounting
+// must not perturb the estimate: a traced and an untraced run of the same
+// query agree bit-for-bit.
+func TestFarRoundAccountingAndTrace(t *testing.T) {
+	tree, kern := buildIndex(t, 16, 5000, 10)
+	q := make([]float64, 10)
+
+	s := New(tree, kern, Options{Seed: 9, NearNodes: 16})
+	tr := &telemetry.QueryTrace{}
+	w := Work{Trace: tr}
+	// Unreachable threshold band + no tolerance: the loop runs until the
+	// sample budget is exhausted, maximizing rounds.
+	fl, fu, _ := s.BoundDensity(q, 0, math.Inf(1), 0, &w)
+
+	if w.FarRounds == 0 {
+		t.Fatal("no far rounds recorded despite exhausted budget")
+	}
+	if w.FarSamples <= 0 || w.FarSamples > w.PointKernels {
+		t.Fatalf("FarSamples = %d, want in (0, PointKernels=%d]", w.FarSamples, w.PointKernels)
+	}
+	if len(tr.Stages) != int(w.FarRounds)+1 {
+		t.Fatalf("%d stages for %d rounds, want rounds+1 (near stage first)", len(tr.Stages), w.FarRounds)
+	}
+	if tr.Stages[0].Name != "near" {
+		t.Fatalf("first stage = %q, want near", tr.Stages[0].Name)
+	}
+	prev := int64(0)
+	for i, st := range tr.Stages[1:] {
+		if want := fmt.Sprintf("far/round-%d", i+1); st.Name != want {
+			t.Fatalf("stage %d name = %q, want %q", i+1, st.Name, want)
+		}
+		if st.Samples < prev {
+			t.Fatalf("round %d cumulative samples %d < previous %d", i+1, st.Samples, prev)
+		}
+		prev = st.Samples
+		if st.Band != st.Upper-st.Lower {
+			t.Fatalf("round %d band %g != upper-lower %g", i+1, st.Band, st.Upper-st.Lower)
+		}
+	}
+	last := tr.Stages[len(tr.Stages)-1]
+	if last.Samples != w.FarSamples {
+		t.Fatalf("final round samples %d != FarSamples %d", last.Samples, w.FarSamples)
+	}
+	if last.Lower != fl || last.Upper != fu {
+		t.Fatalf("final round bounds [%g, %g] != returned [%g, %g]", last.Lower, last.Upper, fl, fu)
+	}
+
+	// Bit-exactness: tracing must be purely observational.
+	s2 := New(tree, kern, Options{Seed: 9, NearNodes: 16})
+	var w2 Work
+	fl2, fu2, _ := s2.BoundDensity(q, 0, math.Inf(1), 0, &w2)
+	if fl2 != fl || fu2 != fu {
+		t.Fatalf("untraced run differs: [%g, %g] vs [%g, %g]", fl2, fu2, fl, fu)
+	}
+	if w2.FarRounds != w.FarRounds || w2.FarSamples != w.FarSamples {
+		t.Fatalf("untraced accounting differs: rounds %d vs %d, samples %d vs %d",
+			w2.FarRounds, w.FarRounds, w2.FarSamples, w.FarSamples)
 	}
 }

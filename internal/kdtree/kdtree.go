@@ -124,6 +124,11 @@ type Tree struct {
 	// hyperplanes — what makes the Equation 6 distance bounds tight).
 	Boxes []float64
 
+	// levels records the first arena id of each BFS level; because ids
+	// are assigned breadth-first, a node's depth is the level whose id
+	// range contains it (see Depth).
+	levels []int32
+
 	stats Stats
 
 	rootOnce sync.Once
@@ -349,6 +354,7 @@ func Build(pts *points.Store, opts Options) (*Tree, error) {
 	var mids []int32
 	for lvlStart, depth := 0, 0; lvlStart < len(t.Meta); depth++ {
 		lvlEnd := len(t.Meta)
+		t.levels = append(t.levels, int32(lvlStart))
 		t.stats.MaxDepth = depth + 1
 		// Extend the box slab to cover the level up front: node id's box
 		// lives at the fixed offset id·2d, so workers write disjoint
@@ -600,6 +606,15 @@ func sqDist(a, b, invH2 []float64) float64 {
 		s += d * d * invH2[j]
 	}
 	return s
+}
+
+// Depth returns the depth of arena node id, counting the root as 1
+// (the same convention as Stats.MaxDepth). BFS ids are contiguous per
+// level, so the depth is a binary search over the level-start table —
+// cheap enough for per-query trace annotation without storing a depth
+// per node.
+func (t *Tree) Depth(id int32) int {
+	return sort.Search(len(t.levels), func(i int) bool { return t.levels[i] > id })
 }
 
 // Height returns the height of the tree (a single leaf has height 1).

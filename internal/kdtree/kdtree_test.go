@@ -464,3 +464,44 @@ func TestTreeStats(t *testing.T) {
 		}
 	}
 }
+
+// TestDepthMatchesTraversal cross-checks the level-table Depth lookup
+// against an explicit walk from the root: every reachable node's Depth
+// equals its traversal depth (root = 1, the Stats.MaxDepth convention),
+// and the deepest node agrees with Stats.
+func TestDepthMatchesTraversal(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 2, 100, 3000} {
+		pts := randomPoints(rng, n, 3)
+		tr, err := Build(pts, Options{LeafSize: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		type entry struct {
+			id int32
+			d  int
+		}
+		queue := []entry{{0, 1}}
+		maxDepth, visited := 0, 0
+		for len(queue) > 0 {
+			e := queue[0]
+			queue = queue[1:]
+			visited++
+			if got := tr.Depth(e.id); got != e.d {
+				t.Fatalf("n=%d: Depth(%d) = %d, want %d", n, e.id, got, e.d)
+			}
+			if e.d > maxDepth {
+				maxDepth = e.d
+			}
+			if l, r := tr.Children(e.id); l >= 0 {
+				queue = append(queue, entry{l, e.d + 1}, entry{r, e.d + 1})
+			}
+		}
+		if maxDepth != tr.Stats().MaxDepth {
+			t.Fatalf("n=%d: walked max depth %d, Stats().MaxDepth %d", n, maxDepth, tr.Stats().MaxDepth)
+		}
+		if visited != tr.NodeCount() {
+			t.Fatalf("n=%d: walk visited %d nodes, arena holds %d", n, visited, tr.NodeCount())
+		}
+	}
+}

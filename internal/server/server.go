@@ -57,18 +57,24 @@ type Options struct {
 	// /metrics expose generation/age/ingest state. The caller owns the
 	// service lifecycle (Start/Close).
 	Stream *stream.Service
+	// Flight, when non-nil, backs GET /debug/queries with the flight
+	// recorder's retained traces. Nil falls back to the one attached to
+	// Registry (if any); with neither, the endpoint reports tracing
+	// disabled.
+	Flight *telemetry.FlightRecorder
 }
 
 // Server serves classification and observability endpoints over one
 // trained classifier. It implements http.Handler; every request passes
 // through the structured-logging middleware.
 type Server struct {
-	model *stream.Model   // zero-downtime read handle; never nil
-	svc   *stream.Service // nil when serving a static model
-	reg   *telemetry.Registry
-	log   *slog.Logger
-	max   int64
-	mux   *http.ServeMux
+	model  *stream.Model   // zero-downtime read handle; never nil
+	svc    *stream.Service // nil when serving a static model
+	reg    *telemetry.Registry
+	flight *telemetry.FlightRecorder // nil when per-query tracing is off
+	log    *slog.Logger
+	max    int64
+	mux    *http.ServeMux
 
 	started  time.Time
 	requests atomic.Int64
@@ -91,6 +97,7 @@ func New(clf *core.Classifier, opts Options) *Server {
 	s := &Server{
 		svc:     opts.Stream,
 		reg:     opts.Registry,
+		flight:  opts.Flight,
 		log:     opts.Logger,
 		max:     opts.MaxBodyBytes,
 		mux:     http.NewServeMux(),
@@ -104,6 +111,9 @@ func New(clf *core.Classifier, opts Options) *Server {
 	if s.reg == nil {
 		s.reg = telemetry.Default
 	}
+	if s.flight == nil {
+		s.flight = s.reg.Flight()
+	}
 	if s.max <= 0 {
 		s.max = DefaultMaxBodyBytes
 	}
@@ -113,6 +123,7 @@ func New(clf *core.Classifier, opts Options) *Server {
 	s.mux.HandleFunc("/ingest", s.handleIngest)
 	s.mux.HandleFunc("/model", s.handleModel)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/queries", s.handleDebugQueries)
 	s.mux.Handle("/debug/vars", expvar.Handler())
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -366,11 +377,37 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		resp["sample_capacity"] = st.Capacity
 		resp["window"] = st.Window
 		resp["retrains"] = st.Retrains
+		resp["pending"] = st.Pending
+		resp["drift_score"] = st.DriftScore
+		resp["drift_probes"] = st.DriftProbes
+		if st.LastRetrainReason != "" {
+			resp["last_retrain_reason"] = st.LastRetrainReason
+			resp["last_retrain_seconds"] = st.LastRetrainDuration.Seconds()
+		}
 		if st.LastError != "" {
 			resp["last_error"] = st.LastError
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDebugQueries serves the flight recorder's retained traces as
+// JSON: the K slowest queries, the K most recent, and the K most recent
+// whose density bounds straddled the classification threshold, each
+// with its per-stage breakdown. Without a flight recorder it reports
+// {"enabled": false} rather than 404, so dashboards can probe for the
+// feature.
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET the retained query traces")
+		return
+	}
+	if s.flight == nil {
+		writeJSON(w, http.StatusOK, telemetry.FlightSnapshot{})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.flight.Snapshot())
 }
 
 // wantDensity reports whether the request asked for density bounds
@@ -423,6 +460,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "# TYPE tkdc_stream_retrains_total counter\ntkdc_stream_retrains_total %d\n", st.Retrains)
 		writeGauge("tkdc_stream_sample_size", st.SampleSize)
 		writeGauge("tkdc_stream_sample_capacity", st.Capacity)
+		writeGauge("tkdc_stream_pending_rows", st.Pending)
+		if st.Capacity > 0 {
+			writeGauge("tkdc_stream_sample_fill", float64(st.SampleSize)/float64(st.Capacity))
+		}
+		fmt.Fprintf(&b, "# TYPE tkdc_stream_drift_probes_total counter\ntkdc_stream_drift_probes_total %d\n", st.DriftProbes)
+		writeGauge("tkdc_stream_drift_score", st.DriftScore)
+		writeGauge("tkdc_stream_last_retrain_seconds", st.LastRetrainDuration.Seconds())
+	}
+	if s.flight != nil {
+		fs := s.flight.Snapshot()
+		fmt.Fprintf(&b, "# TYPE tkdc_traces_total counter\ntkdc_traces_total %d\n", fs.Traced)
+		fmt.Fprintf(&b, "# TYPE tkdc_traces_straddling_total counter\ntkdc_traces_straddling_total %d\n", fs.Straddled)
+		fmt.Fprintf(&b, "# TYPE tkdc_slow_queries_total counter\ntkdc_slow_queries_total %d\n", fs.SlowLogged)
 	}
 	writeGauge("go_goroutines", runtime.NumGoroutine())
 
@@ -453,9 +503,22 @@ func (s *Server) expvarSnapshot() map[string]any {
 	if s.svc != nil {
 		st := s.svc.Stats()
 		out["stream"] = map[string]any{
-			"ingested":    st.Ingested,
-			"sample_size": st.SampleSize,
-			"retrains":    st.Retrains,
+			"ingested":            st.Ingested,
+			"sample_size":         st.SampleSize,
+			"retrains":            st.Retrains,
+			"pending":             st.Pending,
+			"drift_score":         st.DriftScore,
+			"drift_probes":        st.DriftProbes,
+			"last_retrain_reason": st.LastRetrainReason,
+			"last_retrain_ns":     int64(st.LastRetrainDuration),
+		}
+	}
+	if s.flight != nil {
+		fs := s.flight.Snapshot()
+		out["flight"] = map[string]any{
+			"traced":      fs.Traced,
+			"straddled":   fs.Straddled,
+			"slow_logged": fs.SlowLogged,
 		}
 	}
 	return out

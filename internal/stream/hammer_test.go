@@ -5,6 +5,9 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"tkdc/internal/core"
+	"tkdc/internal/telemetry"
 )
 
 // TestHotSwapHammer is the zero-downtime acceptance check: readers call
@@ -158,5 +161,85 @@ func TestServiceHammer(t *testing.T) {
 	}
 	if st.Generation < 3 || st.Retrains < 2 {
 		t.Fatalf("lifecycle stats = %+v, want ≥ 2 retrains", st)
+	}
+}
+
+// TestFlightRecorderHammer drives the flight recorder through the full
+// streaming lifecycle under -race: readers trace every query through the
+// live Model handle while retrains hot-swap generations underneath, and
+// a snapshot reader serves /debug/queries-style reads throughout. Every
+// generation shares the registry (and so the recorder), so traces keep
+// flowing across swaps.
+func TestFlightRecorderHammer(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	flight := telemetry.NewFlightRecorder(telemetry.FlightOptions{K: 16})
+	reg.AttachFlightRecorder(flight)
+
+	cfg := testConfig()
+	cfg.Recorder = reg
+	initial, err := core.Train(gauss2D(400, 1, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(initial, Config{Capacity: 800, Train: cfg, Recorder: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := svc.Model()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			probes := gauss2D(16, int64(100+r), 2)
+			for i := 0; !stop.Load(); i++ {
+				if _, err := model.Score(probes[i%len(probes)]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() { // concurrent snapshot reader
+		defer wg.Done()
+		for !stop.Load() {
+			snap := flight.Snapshot()
+			if len(snap.Slowest) > snap.K || len(snap.Recent) > snap.K {
+				t.Errorf("snapshot overflows K: %d slowest, %d recent", len(snap.Slowest), len(snap.Recent))
+				return
+			}
+			for _, tr := range snap.Recent {
+				if tr.Kind == "" || tr.Latency < 0 {
+					t.Errorf("malformed retained trace: %+v", tr)
+					return
+				}
+			}
+		}
+	}()
+
+	// Writer: back-to-back retrain swaps with fresh rows in between.
+	for i := 0; i < 6; i++ {
+		if _, err := svc.Ingest(gauss2D(100, int64(200+i), 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Retrain(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := flight.Snapshot()
+	if snap.Traced == 0 {
+		t.Fatal("no traces filed across the hammer run")
+	}
+	if model.Generation() != 7 {
+		t.Fatalf("generation = %d, want 7 after 6 retrains", model.Generation())
 	}
 }

@@ -80,11 +80,22 @@ type Stats struct {
 	SampleSize int
 	Capacity   int
 	Window     bool
+	Pending    int64
 
 	// Retrains counts completed retrains (publishes); LastError is the
 	// most recent background retrain or snapshot failure, "" when clean.
 	Retrains  int64
 	LastError string
+
+	// DriftScore is the most recent drift probe's relative threshold
+	// deviation |probe−live|/live (0 before any probe); DriftProbes
+	// counts probes run. LastRetrainReason names the trigger behind the
+	// most recent retrain ("count", "age", "drift", or "manual") and
+	// LastRetrainDuration its wall-clock training time.
+	DriftScore          float64
+	DriftProbes         int64
+	LastRetrainReason   string
+	LastRetrainDuration time.Duration
 }
 
 // Service owns the streaming lifecycle: it accepts ingest batches,
@@ -103,6 +114,14 @@ type Service struct {
 	lastTrained atomic.Int64
 	retrains    atomic.Int64
 	probeSeq    atomic.Int64
+
+	// Drift and retrain observability: the latest probe's relative
+	// deviation (float bits), probe count, and the last retrain's
+	// trigger + duration.
+	driftScore    atomic.Uint64
+	driftProbes   atomic.Int64
+	lastReason    atomic.Pointer[string]
+	lastRetrainNS atomic.Int64
 
 	errMu   sync.Mutex
 	lastErr error
@@ -225,7 +244,7 @@ func (s *Service) Close() error {
 // Retrain synchronously rebuilds a classifier from the current sample
 // and publishes it, regardless of triggers. It is the manual control
 // surface (tests, admin endpoints); concurrent retrains serialize.
-func (s *Service) Retrain() error { return s.retrain() }
+func (s *Service) Retrain() error { return s.retrain("manual") }
 
 // maybeRetrain checks the triggers and retrains when one fires,
 // returning the trigger's name ("" if none fired). It is the body of the
@@ -235,7 +254,7 @@ func (s *Service) maybeRetrain() (string, error) {
 	if reason == "" {
 		return "", nil
 	}
-	return reason, s.retrain()
+	return reason, s.retrain(reason)
 }
 
 // trigger names the first retrain trigger currently firing. All triggers
@@ -275,13 +294,16 @@ func (s *Service) thresholdDrifted() bool {
 	if err != nil || probe <= 0 {
 		return false
 	}
-	return math.Abs(probe-live)/live > s.cfg.DriftTolerance
+	score := math.Abs(probe-live) / live
+	s.driftScore.Store(math.Float64bits(score))
+	s.driftProbes.Add(1)
+	return score > s.cfg.DriftTolerance
 }
 
 // retrain rebuilds from a snapshot of the sample and publishes the
 // result. The sample copy is the only moment it touches the ingest lock;
 // training runs entirely off both the ingest and query paths.
-func (s *Service) retrain() error {
+func (s *Service) retrain(reason string) error {
 	s.retrainMu.Lock()
 	defer s.retrainMu.Unlock()
 
@@ -294,13 +316,16 @@ func (s *Service) retrain() error {
 	if err != nil {
 		return fmt.Errorf("stream: retrain: %w", err)
 	}
+	dur := time.Since(start)
 	gen := s.model.Publish(clf)
 	s.lastTrained.Store(seen)
 	s.retrains.Add(1)
+	s.lastReason.Store(&reason)
+	s.lastRetrainNS.Store(int64(dur))
 	if s.rec.Enabled() {
 		s.rec.RecordSpan(telemetry.Span{
 			Name:     fmt.Sprintf("retrain/gen-%d", gen),
-			Duration: time.Since(start),
+			Duration: dur,
 			Kernels:  clf.TrainStats().TrainKernels,
 			Items:    int64(snap.Len()),
 		})
@@ -333,6 +358,17 @@ func (s *Service) Stats() Stats {
 		Capacity:   s.ing.Capacity(),
 		Window:     s.ing.WindowMode(),
 		Retrains:   s.retrains.Load(),
+
+		DriftScore:          math.Float64frombits(s.driftScore.Load()),
+		DriftProbes:         s.driftProbes.Load(),
+		LastRetrainDuration: time.Duration(s.lastRetrainNS.Load()),
+	}
+	st.Pending = st.Ingested - s.lastTrained.Load()
+	if st.Pending < 0 {
+		st.Pending = 0
+	}
+	if r := s.lastReason.Load(); r != nil {
+		st.LastRetrainReason = *r
 	}
 	s.errMu.Lock()
 	if s.lastErr != nil {

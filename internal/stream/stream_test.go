@@ -417,3 +417,123 @@ func TestRetrainOnEmptySample(t *testing.T) {
 		t.Fatalf("generation moved to %d on failed retrain", gen)
 	}
 }
+
+// TestRetrainObservability pins the lifecycle stats added for the flight
+// recorder era: Pending tracks rows since the last retrain, the retrain
+// reason and duration survive into Stats, and drift probes report their
+// score and count.
+func TestRetrainObservability(t *testing.T) {
+	initial := trainSmall(t, gauss2D(300, 5, 1))
+	svc, err := NewService(initial, Config{Capacity: 1000, RetrainEvery: 100, Train: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Stats(); st.Pending != 0 || st.LastRetrainReason != "" || st.DriftProbes != 0 {
+		t.Fatalf("fresh service stats not zeroed: %+v", st)
+	}
+	if _, err := svc.Ingest(gauss2D(40, 6, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Stats(); st.Pending != 40 {
+		t.Fatalf("Pending = %d after 40 rows, want 40", st.Pending)
+	}
+	if err := svc.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.Pending != 0 {
+		t.Fatalf("Pending = %d after retrain, want 0", st.Pending)
+	}
+	if st.LastRetrainReason != "manual" {
+		t.Fatalf("LastRetrainReason = %q, want manual", st.LastRetrainReason)
+	}
+	if st.LastRetrainDuration <= 0 {
+		t.Fatalf("LastRetrainDuration = %v, want > 0", st.LastRetrainDuration)
+	}
+
+	// A count-triggered retrain overwrites the reason.
+	if _, err := svc.Ingest(gauss2D(100, 7, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if reason, err := svc.maybeRetrain(); reason != "count" || err != nil {
+		t.Fatalf("trigger = (%q, %v), want (count, nil)", reason, err)
+	}
+	if st := svc.Stats(); st.LastRetrainReason != "count" {
+		t.Fatalf("LastRetrainReason = %q, want count", st.LastRetrainReason)
+	}
+}
+
+// TestDriftProbeStats checks the drift gauge: a probe that fires records
+// a score past the tolerance and increments the probe counter.
+func TestDriftProbeStats(t *testing.T) {
+	initial := trainSmall(t, gauss2D(500, 5, 1))
+	svc, err := NewService(initial, Config{Capacity: 1000, DriftTolerance: 0.5, Seed: 9, Train: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Ingest(gauss2D(500, 8, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if reason, err := svc.maybeRetrain(); reason != "drift" || err != nil {
+		t.Fatalf("trigger = (%q, %v), want (drift, nil)", reason, err)
+	}
+	st := svc.Stats()
+	if st.DriftProbes != 1 {
+		t.Fatalf("DriftProbes = %d, want 1", st.DriftProbes)
+	}
+	if st.DriftScore <= 0.5 {
+		t.Fatalf("DriftScore = %g, want > tolerance 0.5 (the probe fired)", st.DriftScore)
+	}
+	if st.LastRetrainReason != "drift" {
+		t.Fatalf("LastRetrainReason = %q, want drift", st.LastRetrainReason)
+	}
+}
+
+// TestHandleMetricsMatchDirect is the telemetry-parity regression test:
+// the same queries produce identical work metrics whether they go
+// straight at the Classifier or through a Model handle — the handle adds
+// one atomic load and must not touch, duplicate, or drop any sample.
+// Latency histograms are excluded (wall-clock differs by definition).
+func TestHandleMetricsMatchDirect(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := testConfig()
+	cfg.Recorder = reg
+	clf, err := core.Train(gauss2D(600, 5, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := gauss2D(200, 11, 2)
+
+	workFields := func(s telemetry.Snapshot) []int64 {
+		return []int64{
+			s.Queries, s.GridHits, s.GridMisses,
+			s.SamplingRounds, s.SampledPoints, s.NearKernels, s.FarKernels,
+			s.Kernels.Count(), s.Kernels.Sum,
+			s.Nodes.Count(), s.Nodes.Sum,
+		}
+	}
+
+	reg.Reset()
+	for _, q := range queries {
+		if _, err := clf.Score(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	direct := workFields(reg.Snapshot())
+
+	reg.Reset()
+	model := NewModel(clf)
+	for _, q := range queries {
+		if _, err := model.Score(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	handle := workFields(reg.Snapshot())
+
+	for i := range direct {
+		if direct[i] != handle[i] {
+			t.Fatalf("work metric %d differs: direct %d vs handle %d\ndirect %v\nhandle %v",
+				i, direct[i], handle[i], direct, handle)
+		}
+	}
+}

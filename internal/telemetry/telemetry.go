@@ -43,6 +43,12 @@ type QuerySample struct {
 	// GridHit whether it answered the query outright.
 	GridChecked bool
 	GridHit     bool
+	// SamplingRounds counts far-field adaptive sampling rounds and
+	// SampledPoints the kernel evaluations spent inside them (both zero
+	// for tree-backend queries). SampledPoints is a subset of
+	// PointKernels: the remainder is the exact near-phase work.
+	SamplingRounds int64
+	SampledPoints  int64
 }
 
 // Kernels returns total kernel evaluations, point and bound combined.
@@ -116,9 +122,19 @@ type Registry struct {
 	gridHits   Counter
 	gridMisses Counter
 
+	samplingRounds Counter
+	samplingPoints Counter
+	nearKernels    Counter
+	farKernels     Counter
+
 	latencyNS Histogram
 	kernels   Histogram
 	nodes     Histogram
+
+	// flight, when attached, extends the registry into a TraceSink: the
+	// query path asks TraceEnabled() once per query and only builds a
+	// QueryTrace when a recorder is present and switched on.
+	flight atomic.Pointer[FlightRecorder]
 
 	mu           sync.Mutex
 	spans        []Span
@@ -142,6 +158,41 @@ func (r *Registry) Enabled() bool { return r.enabled.Load() }
 // SetEnabled toggles sample collection without detaching the recorder.
 func (r *Registry) SetEnabled(on bool) { r.enabled.Store(on) }
 
+// AttachFlightRecorder wires a flight recorder into the registry so the
+// query path sees it through the TraceSink interface. Pass nil to
+// detach.
+func (r *Registry) AttachFlightRecorder(f *FlightRecorder) { r.flight.Store(f) }
+
+// Flight returns the attached flight recorder, or nil.
+func (r *Registry) Flight() *FlightRecorder { return r.flight.Load() }
+
+// TraceEnabled implements TraceSink: per-query tracing is on only when
+// the registry itself is enabled and an enabled flight recorder is
+// attached. Two atomic loads on the hot path.
+func (r *Registry) TraceEnabled() bool {
+	if !r.enabled.Load() {
+		return false
+	}
+	f := r.flight.Load()
+	return f != nil && f.Enabled()
+}
+
+// StartTrace implements TraceSink by delegating to the attached flight
+// recorder (nil when none is attached — callers gate on TraceEnabled).
+func (r *Registry) StartTrace() *QueryTrace {
+	if f := r.flight.Load(); f != nil {
+		return f.StartTrace()
+	}
+	return nil
+}
+
+// FinishTrace implements TraceSink.
+func (r *Registry) FinishTrace(t *QueryTrace) {
+	if f := r.flight.Load(); f != nil {
+		f.FinishTrace(t)
+	}
+}
+
 // RecordQuery folds one query into the counters and histograms.
 func (r *Registry) RecordQuery(s QuerySample) {
 	if !r.enabled.Load() {
@@ -154,6 +205,16 @@ func (r *Registry) RecordQuery(s QuerySample) {
 		} else {
 			r.gridMisses.Inc()
 		}
+	}
+	if s.SamplingRounds > 0 {
+		r.samplingRounds.Add(s.SamplingRounds)
+	}
+	if s.SampledPoints > 0 {
+		r.samplingPoints.Add(s.SampledPoints)
+		r.farKernels.Add(s.SampledPoints)
+		r.nearKernels.Add(s.PointKernels - s.SampledPoints)
+	} else {
+		r.nearKernels.Add(s.PointKernels)
 	}
 	r.latencyNS.Observe(int64(s.Latency))
 	r.kernels.Observe(s.Kernels())
@@ -180,12 +241,16 @@ func (r *Registry) RecordSpan(s Span) {
 // per field.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
-		Queries:    r.queries.Load(),
-		GridHits:   r.gridHits.Load(),
-		GridMisses: r.gridMisses.Load(),
-		LatencyNS:  r.latencyNS.Snapshot(),
-		Kernels:    r.kernels.Snapshot(),
-		Nodes:      r.nodes.Snapshot(),
+		Queries:        r.queries.Load(),
+		GridHits:       r.gridHits.Load(),
+		GridMisses:     r.gridMisses.Load(),
+		SamplingRounds: r.samplingRounds.Load(),
+		SampledPoints:  r.samplingPoints.Load(),
+		NearKernels:    r.nearKernels.Load(),
+		FarKernels:     r.farKernels.Load(),
+		LatencyNS:      r.latencyNS.Snapshot(),
+		Kernels:        r.kernels.Snapshot(),
+		Nodes:          r.nodes.Snapshot(),
 	}
 	r.mu.Lock()
 	s.Spans = append([]Span(nil), r.spans...)
@@ -199,6 +264,10 @@ func (r *Registry) Reset() {
 	r.queries.v.Store(0)
 	r.gridHits.v.Store(0)
 	r.gridMisses.v.Store(0)
+	r.samplingRounds.v.Store(0)
+	r.samplingPoints.v.Store(0)
+	r.nearKernels.v.Store(0)
+	r.farKernels.v.Store(0)
 	r.latencyNS.reset()
 	r.kernels.reset()
 	r.nodes.reset()
@@ -215,6 +284,15 @@ type Snapshot struct {
 	GridHits   int64
 	GridMisses int64
 
+	// SamplingRounds and SampledPoints aggregate the sampling backend's
+	// far-field work; NearKernels/FarKernels split total point-kernel
+	// evaluations into the exact near phase (all tree-backend work lands
+	// here too) and the sampled far field.
+	SamplingRounds int64
+	SampledPoints  int64
+	NearKernels    int64
+	FarKernels     int64
+
 	// LatencyNS holds query latencies in nanoseconds; Kernels and Nodes
 	// hold kernel evaluations and tree nodes expanded per query.
 	LatencyNS HistogramSnapshot
@@ -230,6 +308,10 @@ func (s *Snapshot) Merge(o Snapshot) {
 	s.Queries += o.Queries
 	s.GridHits += o.GridHits
 	s.GridMisses += o.GridMisses
+	s.SamplingRounds += o.SamplingRounds
+	s.SampledPoints += o.SampledPoints
+	s.NearKernels += o.NearKernels
+	s.FarKernels += o.FarKernels
 	s.LatencyNS.Merge(o.LatencyNS)
 	s.Kernels.Merge(o.Kernels)
 	s.Nodes.Merge(o.Nodes)
@@ -242,6 +324,10 @@ func (s *Snapshot) Merge(o Snapshot) {
 func (s Snapshot) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "queries %d (grid hits %d, misses %d)\n", s.Queries, s.GridHits, s.GridMisses)
+	if s.SamplingRounds > 0 || s.FarKernels > 0 {
+		fmt.Fprintf(&b, "sampling: %d rounds, %d sampled points (near/far kernel split %d/%d)\n",
+			s.SamplingRounds, s.SampledPoints, s.NearKernels, s.FarKernels)
+	}
 	dur := func(v float64) string { return time.Duration(v).Round(10 * time.Nanosecond).String() }
 	cnt := func(v float64) string { return fmt.Sprintf("%.0f", v) }
 	fmt.Fprintf(&b, "query latency:  %s\n", s.LatencyNS.summary(dur))
@@ -266,6 +352,10 @@ func (s Snapshot) WriteMetrics(b *strings.Builder) {
 	fmt.Fprintf(b, "# TYPE tkdc_queries_total counter\ntkdc_queries_total %d\n", s.Queries)
 	fmt.Fprintf(b, "# TYPE tkdc_grid_hits_total counter\ntkdc_grid_hits_total %d\n", s.GridHits)
 	fmt.Fprintf(b, "# TYPE tkdc_grid_misses_total counter\ntkdc_grid_misses_total %d\n", s.GridMisses)
+	fmt.Fprintf(b, "# TYPE tkdc_sampling_rounds_total counter\ntkdc_sampling_rounds_total %d\n", s.SamplingRounds)
+	fmt.Fprintf(b, "# TYPE tkdc_sampling_points_total counter\ntkdc_sampling_points_total %d\n", s.SampledPoints)
+	fmt.Fprintf(b, "# TYPE tkdc_kernels_near_total counter\ntkdc_kernels_near_total %d\n", s.NearKernels)
+	fmt.Fprintf(b, "# TYPE tkdc_kernels_far_total counter\ntkdc_kernels_far_total %d\n", s.FarKernels)
 	s.LatencyNS.writeExposition(b, "tkdc_query_latency_ns")
 	s.Kernels.writeExposition(b, "tkdc_query_kernels")
 	s.Nodes.writeExposition(b, "tkdc_query_nodes")

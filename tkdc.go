@@ -87,6 +87,31 @@ type MetricsSnapshot = telemetry.Snapshot
 // QuerySample is one query's telemetry: latency and traversal work.
 type QuerySample = telemetry.QuerySample
 
+// QueryTrace is one query's flight record: per-stage timings, traversal
+// work, the density bounds reached, and the threshold margin at decision
+// time. Traces are captured when a FlightRecorder is attached to the
+// classifier's Registry and are immutable once filed.
+type QueryTrace = telemetry.QueryTrace
+
+// TraceStage is one named stage of a QueryTrace (tree refinement, the
+// near phase, a far-field sampling round) with its duration and work.
+type TraceStage = telemetry.TraceStage
+
+// FlightRecorder retains the K slowest and K most recent query traces
+// plus every threshold-straddling query, and logs queries slower than a
+// configurable latency threshold. Attach one with
+// Registry.AttachFlightRecorder; snapshot it with FlightRecorder.Snapshot.
+type FlightRecorder = telemetry.FlightRecorder
+
+// FlightOptions configures NewFlightRecorder: retention depth K, the
+// slow-query log threshold, and the structured logger slow queries go to.
+type FlightOptions = telemetry.FlightOptions
+
+// FlightSnapshot is a coherent copy of a FlightRecorder's retained
+// traces and counters, ready for JSON encoding (GET /debug/queries
+// serves exactly this).
+type FlightSnapshot = telemetry.FlightSnapshot
+
 // PhaseSpan names one bounded phase of batch work (a bootstrap round, a
 // training pass) with its duration and kernel count.
 type PhaseSpan = telemetry.Span
@@ -141,6 +166,13 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // as Config.Recorder (or to pass to several classifiers, which then
 // aggregate into one set of histograms).
 func NewRegistry() *Registry { return telemetry.NewRegistry() }
+
+// NewFlightRecorder returns an enabled query flight recorder. Attach it
+// to a classifier's registry with Registry.AttachFlightRecorder to start
+// capturing per-query traces.
+func NewFlightRecorder(opts FlightOptions) *FlightRecorder {
+	return telemetry.NewFlightRecorder(opts)
+}
 
 // DefaultRegistry returns the process-wide registry behind Metrics().
 // The tkdc CLI's -serve and -stats modes record into it.
