@@ -14,6 +14,8 @@
 //	tkdc -train data.csv -serve :8080         # HTTP serving mode
 //	tkdc -train data.csv -serve :8080 -stream -retrain-every 10000
 //	                                          # streaming ingest + retrains
+//	tkdc -follow http://leader:8080 -serve :8081
+//	                                          # stateless serving replica
 //
 // Output is CSV: label[,lower,upper] per query row, preceded by a summary
 // of the trained model on stderr. With -stats, a telemetry report (train
@@ -32,6 +34,16 @@
 // the uniform reservoir for a sliding window over the newest -sample
 // rows, and -save doubles as the path for atomic model snapshots after
 // each swap.
+//
+// With -follow URL the process is a stateless serving replica: it
+// bootstraps its model from the leader's GET /snapshot, polls every
+// -poll-every (jittered, with exponential backoff on faults), verifies
+// each snapshot's checksum, and hot-swaps generations without blocking
+// queries. A replica keeps serving its last good model through leader
+// outages; with -stale-after set, /healthz flips to 503 once it has gone
+// that long without a successful sync so load balancers drain it. Every
+// serving process — leader or replica — exposes GET /snapshot and
+// /snapshot/meta, so replicas can fan out behind replicas.
 package main
 
 import (
@@ -51,6 +63,7 @@ import (
 
 	"tkdc"
 	"tkdc/internal/dataset"
+	"tkdc/internal/fleet"
 	"tkdc/internal/server"
 	"tkdc/internal/telemetry"
 )
@@ -79,10 +92,14 @@ func main() {
 		driftTol     = flag.Float64("drift-tolerance", 0, "with -stream: retrain when a threshold probe drifts past this relative fraction (0 disables)")
 		window       = flag.Bool("window", false, "with -stream: keep a sliding window of the newest -sample rows instead of a uniform reservoir")
 		sampleCap    = flag.Int("sample", 100_000, "with -stream: bounded in-memory sample capacity in rows")
+
+		follow     = flag.String("follow", "", "replicate a leader: poll URL/snapshot and hot-swap generations (requires -serve; excludes -train/-load/-stream)")
+		pollEvery  = flag.Duration("poll-every", 2*time.Second, "with -follow: steady-state snapshot poll interval (jittered; backs off exponentially on failures)")
+		staleAfter = flag.Duration("stale-after", 0, "with -follow: answer 503 on /healthz after this long without a successful leader sync (0 disables)")
 	)
 	flag.Parse()
-	if (*trainPath == "") == (*loadPath == "") {
-		fmt.Fprintln(os.Stderr, "tkdc: exactly one of -train or -load is required")
+	if err := validateFlags(*trainPath, *loadPath, *follow, *serve, *streamMode); err != nil {
+		fmt.Fprintln(os.Stderr, "tkdc:", err)
 		os.Exit(2)
 	}
 	if err := validateBackend(*backend); err != nil {
@@ -114,15 +131,21 @@ func main() {
 		reg.AttachFlightRecorder(flight)
 	}
 
+	if *follow != "" {
+		runFollower(*follow, *serve, fleetOptions{
+			pollEvery:  *pollEvery,
+			staleAfter: *staleAfter,
+			workers:    *workers,
+			seed:       *seed,
+		}, reg, flight)
+		return
+	}
+
 	var clf *tkdc.Classifier
 	var queries [][]float64
 	if *loadPath != "" {
-		f, err := os.Open(*loadPath)
-		if err != nil {
-			fail(err)
-		}
-		clf, err = tkdc.Load(f)
-		f.Close()
+		var err error
+		clf, err = tkdc.LoadFile(*loadPath)
 		if err != nil {
 			fail(err)
 		}
@@ -165,14 +188,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tkdc: trained on n=%d d=%d; threshold t(p=%g)=%.6g in [%.6g, %.6g]; %d bootstrap rounds; %d workers; %s backend\n",
 			ts.N, ts.Dim, *p, ts.Threshold, ts.ThresholdLow, ts.ThresholdHigh, ts.BootstrapRounds, ts.Workers, clf.Backend())
 		if *savePath != "" {
-			f, err := os.Create(*savePath)
-			if err != nil {
-				fail(err)
-			}
-			if err := clf.Save(f); err != nil {
-				fail(err)
-			}
-			if err := f.Close(); err != nil {
+			if err := clf.SaveFile(*savePath); err != nil {
 				fail(err)
 			}
 			fmt.Fprintf(os.Stderr, "tkdc: model saved to %s\n", *savePath)
@@ -181,6 +197,7 @@ func main() {
 
 	if *serve != "" {
 		var svc *tkdc.StreamService
+		var pub *fleet.Publisher
 		if *streamMode {
 			var err error
 			svc, err = tkdc.NewStreamService(clf, tkdc.StreamConfig{
@@ -193,13 +210,21 @@ func main() {
 				SnapshotPath:   *savePath,
 				Prefill:        true,
 				Recorder:       reg,
+				// Re-encode the replication snapshot in the retrain
+				// goroutine so follower fetches after a swap hit the cache.
+				OnSwap: func(uint64) {
+					if pub != nil {
+						pub.Refresh()
+					}
+				},
 			})
 			if err != nil {
 				fail(err)
 			}
-			svc.Start()
+			pub = fleet.NewPublisher(svc.Model())
+			svc.Start() // after pub: the hook must see the assignment
 		}
-		runServer(clf, reg, flight, *serve, svc)
+		runServer(clf, reg, flight, *serve, svc, pub)
 		if svc != nil {
 			if err := svc.Close(); err != nil {
 				fail(err)
@@ -245,9 +270,60 @@ func main() {
 // runServer blocks serving HTTP until SIGINT/SIGTERM, then shuts down
 // gracefully. With a non-nil streaming service, the handlers serve its
 // live model and accept ingest; the caller owns the service lifecycle.
-func runServer(clf *tkdc.Classifier, reg *telemetry.Registry, flight *telemetry.FlightRecorder, addr string, svc *tkdc.StreamService) {
+func runServer(clf *tkdc.Classifier, reg *telemetry.Registry, flight *telemetry.FlightRecorder, addr string, svc *tkdc.StreamService, pub *fleet.Publisher) {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	handler := server.New(clf, server.Options{Registry: reg, Logger: logger, Stream: svc, Flight: flight})
+	serveLoop(addr, logger, server.Options{Registry: reg, Logger: logger, Stream: svc, Flight: flight, Publisher: pub}, clf,
+		slog.Bool("stream", svc != nil))
+}
+
+// fleetOptions carries the -follow tuning from main to runFollower.
+type fleetOptions struct {
+	pollEvery  time.Duration
+	staleAfter time.Duration
+	workers    int
+	seed       int64
+}
+
+// runFollower is the -follow serving mode: bootstrap-sync a replica from
+// the leader (retrying until the first snapshot lands or the process is
+// interrupted), then serve it while the background poll loop hot-swaps
+// generations underneath the handlers.
+func runFollower(leaderURL, addr string, fo fleetOptions, reg *telemetry.Registry, flight *telemetry.FlightRecorder) {
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	cfg := fleet.FollowerConfig{
+		URL:        leaderURL,
+		PollEvery:  fo.pollEvery,
+		StaleAfter: fo.staleAfter,
+		Workers:    fo.workers,
+		Logger:     logger,
+		Seed:       fo.seed,
+	}
+	if reg != nil {
+		cfg.Recorder = reg
+	}
+	f, err := fleet.NewFollower(cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger.Info("fleet: syncing from leader", slog.String("leader", leaderURL))
+	if err := f.Sync(ctx); err != nil {
+		fail(err)
+	}
+	f.Start()
+	defer f.Close()
+
+	clf := f.Model().Current()
+	serveLoop(addr, logger, server.Options{Registry: reg, Logger: logger, Flight: flight, Follower: f}, clf,
+		slog.String("role", "follower"), slog.String("leader", leaderURL))
+}
+
+// serveLoop is the shared HTTP serving loop behind -serve and -follow:
+// build the handler, listen, and shut down gracefully on SIGINT/SIGTERM.
+func serveLoop(addr string, logger *slog.Logger, opts server.Options, clf *tkdc.Classifier, extra ...slog.Attr) {
+	handler := server.New(clf, opts)
 	srv := newHTTPServer(addr, handler)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -259,13 +335,16 @@ func runServer(clf *tkdc.Classifier, reg *telemetry.Registry, flight *telemetry.
 		srv.Shutdown(shutdownCtx)
 	}()
 
-	logger.Info("serving",
+	fields := []any{
 		slog.String("addr", addr),
 		slog.Int("n", clf.N()),
 		slog.Int("dim", clf.Dim()),
 		slog.Float64("threshold", clf.Threshold()),
-		slog.Bool("stream", svc != nil),
-	)
+	}
+	for _, a := range extra {
+		fields = append(fields, a)
+	}
+	logger.Info("serving", fields...)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fail(err)
 	}
@@ -285,6 +364,45 @@ func newHTTPServer(addr string, h http.Handler) *http.Server {
 		ReadTimeout:       2 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
+}
+
+// validateFlags rejects incoherent mode combinations right after flag
+// parsing, before any CSV is read, a model is trained, or a socket is
+// opened — mirroring validateBackend's fail-fast contract. The modes:
+//
+//   - batch / serve: exactly one of -train or -load supplies the model
+//   - follower: -follow supplies the model over the network and needs
+//     -serve; it excludes -train, -load, and -stream (a replica is
+//     stateless — it neither trains nor ingests)
+//   - streaming: -stream needs a trained/loaded model and -serve
+func validateFlags(train, load, follow, serve string, streamMode bool) error {
+	if follow != "" {
+		var conflicts []string
+		if train != "" {
+			conflicts = append(conflicts, "-train")
+		}
+		if load != "" {
+			conflicts = append(conflicts, "-load")
+		}
+		if streamMode {
+			conflicts = append(conflicts, "-stream")
+		}
+		if len(conflicts) > 0 {
+			return fmt.Errorf("-follow replicates its model from the leader and cannot be combined with %s (a follower is stateless: it neither trains nor ingests)",
+				strings.Join(conflicts, ", "))
+		}
+		if serve == "" {
+			return errors.New("-follow requires -serve (a follower exists to serve queries)")
+		}
+		return nil
+	}
+	if (train == "") == (load == "") {
+		return errors.New("exactly one of -train or -load is required (or -follow URL to replicate a leader)")
+	}
+	if streamMode && serve == "" {
+		return errors.New("-stream requires -serve (ingest arrives over POST /ingest)")
+	}
+	return nil
 }
 
 // validateBackend fails fast on an unknown -backend value, before any

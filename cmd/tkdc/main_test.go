@@ -31,6 +31,52 @@ func TestHTTPServerTimeouts(t *testing.T) {
 	}
 }
 
+// TestValidateFlags pins the mode-combination contract: incoherent flag
+// sets die with a clear error before any CSV is read or socket opened,
+// and every error names the offending flags.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name                       string
+		train, load, follow, serve string
+		stream                     bool
+		wantErr                    []string // substrings; nil = valid
+	}{
+		{name: "train batch", train: "d.csv"},
+		{name: "load serve", load: "m.tkdc", serve: ":8080"},
+		{name: "train stream serve", train: "d.csv", serve: ":8080", stream: true},
+		{name: "follow serve", follow: "http://leader:8080", serve: ":8081"},
+
+		{name: "neither train nor load", wantErr: []string{"-train", "-load"}},
+		{name: "both train and load", train: "d.csv", load: "m.tkdc", wantErr: []string{"-train", "-load"}},
+		{name: "follow plus train", follow: "http://l", serve: ":1", train: "d.csv", wantErr: []string{"-follow", "-train"}},
+		{name: "follow plus load", follow: "http://l", serve: ":1", load: "m.tkdc", wantErr: []string{"-follow", "-load"}},
+		{name: "follow plus stream", follow: "http://l", serve: ":1", stream: true, wantErr: []string{"-follow", "-stream"}},
+		{name: "follow plus train and stream", follow: "http://l", serve: ":1", train: "d.csv", stream: true,
+			wantErr: []string{"-follow", "-train", "-stream"}},
+		{name: "follow without serve", follow: "http://l", wantErr: []string{"-follow", "-serve"}},
+		{name: "stream without serve", train: "d.csv", stream: true, wantErr: []string{"-stream", "-serve"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.train, tc.load, tc.follow, tc.serve, tc.stream)
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("valid combination rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("incoherent combination accepted")
+			}
+			for _, want := range tc.wantErr {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q does not mention %q", err, want)
+				}
+			}
+		})
+	}
+}
+
 // TestValidateBackend pins the fail-fast contract of -backend: every
 // published name passes, anything else is rejected with an error that
 // lists the valid set.

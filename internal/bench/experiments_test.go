@@ -27,6 +27,7 @@ func TestAllFigureRunnersTinyScale(t *testing.T) {
 		{"fig15", Figure15, 7},
 		{"stream", StreamLifecycle, 3},
 		{"trace", TraceOverhead, 3},
+		{"fleet", Fleet, 4},
 	}
 	for _, c := range cases {
 		c := c

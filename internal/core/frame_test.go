@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// frameClassifier trains a small model for the integrity-frame tests.
+func frameClassifier(t *testing.T) *Classifier {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	clf, err := Train(gauss2D(rng, 300), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clf
+}
+
+// TestEncodeSnapshotRoundTrip pins the framed wire format: magic prefix,
+// checksum over the whole encoding, and a Load that reproduces the model.
+func TestEncodeSnapshotRoundTrip(t *testing.T) {
+	clf := frameClassifier(t)
+	data, sum, err := clf.EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte(frameMagic)) {
+		t.Fatalf("framed snapshot does not start with %q: % x", frameMagic, data[:8])
+	}
+	if want := sha256.Sum256(data); want != sum {
+		t.Fatal("EncodeSnapshot checksum is not the SHA-256 of the returned bytes")
+	}
+	loaded, err := Load(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Threshold() != clf.Threshold() || loaded.N() != clf.N() {
+		t.Fatalf("framed round trip differs: t=%v n=%d, want t=%v n=%d",
+			loaded.Threshold(), loaded.N(), clf.Threshold(), clf.N())
+	}
+}
+
+// TestLoadFileRejectsCorruption is the torn-snapshot regression test: a
+// SaveFile artifact with a flipped payload byte or a truncated tail must
+// fail with a loud checksum error, never deserialize garbage.
+func TestLoadFileRejectsCorruption(t *testing.T) {
+	clf := frameClassifier(t)
+	path := filepath.Join(t.TempDir(), "model.tkdc")
+	if err := clf.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatalf("clean snapshot rejected: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(raw, []byte(frameMagic)) {
+		t.Fatal("SaveFile output is not framed")
+	}
+
+	corrupt := func(name string, mutate func([]byte) []byte, wantErr string) {
+		t.Helper()
+		mutated := mutate(append([]byte(nil), raw...))
+		p := filepath.Join(t.TempDir(), name)
+		if err := os.WriteFile(p, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadFile(p)
+		if err == nil {
+			t.Fatalf("%s: corrupted snapshot loaded successfully", name)
+		}
+		if !strings.Contains(err.Error(), wantErr) {
+			t.Fatalf("%s: error %q does not mention %q", name, err, wantErr)
+		}
+		if !strings.Contains(err.Error(), p) {
+			t.Fatalf("%s: error %q does not name the file", name, err)
+		}
+	}
+
+	corrupt("bitflip.tkdc", func(b []byte) []byte {
+		b[len(b)/2] ^= 0x40 // flip one payload bit past the header
+		return b
+	}, "checksum mismatch")
+	corrupt("torn.tkdc", func(b []byte) []byte {
+		return b[:len(b)-len(b)/3] // tail lost mid-write
+	}, "checksum mismatch")
+	corrupt("header.tkdc", func(b []byte) []byte {
+		return b[:frameHdrLen-5] // died inside the frame header
+	}, "truncated snapshot frame")
+	corrupt("version.tkdc", func(b []byte) []byte {
+		b[len(frameMagic)] = 99
+		return b
+	}, "frame version")
+}
+
+// TestLoadBareGobStillAccepted keeps the legacy unframed stream loadable:
+// Save writes bare gob and pre-frame snapshot files exist in the wild.
+func TestLoadBareGobStillAccepted(t *testing.T) {
+	clf := frameClassifier(t)
+	var buf bytes.Buffer
+	if err := clf.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.HasPrefix(buf.Bytes(), []byte(frameMagic)) {
+		t.Fatal("Save unexpectedly emits the frame; update this test and the Load sniffing doc")
+	}
+	if _, err := Load(&buf); err != nil {
+		t.Fatalf("bare gob stream rejected: %v", err)
+	}
+}
+
+// TestLoadFileMissing surfaces the open error rather than a nil model.
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.tkdc")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}

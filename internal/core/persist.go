@@ -1,7 +1,10 @@
 package core
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"encoding/gob"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -57,6 +60,45 @@ type samplerParams struct {
 // plus backend tag.
 const modelVersion = 3
 
+// Snapshot files and replicated snapshot bytes carry an integrity frame
+// around the gob payload so a torn write or a corrupted transfer fails
+// loudly at load time instead of deserializing garbage:
+//
+//	magic   [4]byte  "TKDC"
+//	version [1]byte  frame format (1)
+//	sha256  [32]byte SHA-256 of the gob payload that follows
+//	payload          gob(modelSnapshot)
+//
+// The frame is what SaveFile writes and what the replication fleet ships
+// over /snapshot. Load accepts both framed and bare-gob streams (every
+// pre-frame snapshot, and Save's output, is bare gob): gob type
+// descriptors for modelSnapshot exceed 127 bytes, so a legitimate bare
+// stream can never begin with the magic's first byte 'T' (0x54).
+const (
+	frameMagic   = "TKDC"
+	frameVersion = 1
+	frameHdrLen  = len(frameMagic) + 1 + sha256.Size
+)
+
+// EncodeSnapshot serializes the classifier in the framed on-disk/wire
+// format: the integrity header followed by the gob payload. The returned
+// buffer is freshly allocated and safe to retain; checksum is the
+// SHA-256 of the whole framed encoding (what `sha256sum model.tkdc`
+// reports), which the replication layer uses as its content address.
+func (c *Classifier) EncodeSnapshot() (data []byte, checksum [sha256.Size]byte, err error) {
+	var payload bytes.Buffer
+	if err := c.Save(&payload); err != nil {
+		return nil, checksum, err
+	}
+	sum := sha256.Sum256(payload.Bytes())
+	buf := make([]byte, 0, frameHdrLen+payload.Len())
+	buf = append(buf, frameMagic...)
+	buf = append(buf, frameVersion)
+	buf = append(buf, sum[:]...)
+	buf = append(buf, payload.Bytes()...)
+	return buf, sha256.Sum256(buf), nil
+}
+
 // Save serializes the trained classifier (including its training data —
 // a KDE *is* its data) so a later Load can serve queries without
 // retraining. The format is Go-specific (encoding/gob) and versioned;
@@ -93,11 +135,18 @@ func (c *Classifier) Save(w io.Writer) error {
 // SaveFile atomically persists the classifier to path: the snapshot is
 // written to path+".tmp", fsynced, renamed over path, and the containing
 // directory fsynced, so a crash mid-save can never leave a truncated or
-// half-written model file where a good one used to be. This is the
-// helper behind the CLI's -save and the streaming lifecycle's per-swap
-// snapshots; concurrent SaveFile calls on the same path are not safe
-// (they share the temp name).
+// half-written model file where a good one used to be. The bytes carry
+// the integrity frame (magic + payload SHA-256), so a file torn by
+// anything the rename dance cannot defend against — a failing disk, a
+// partial copy between machines — is rejected loudly by Load instead of
+// deserializing garbage. This is the helper behind the CLI's -save and
+// the streaming lifecycle's per-swap snapshots; concurrent SaveFile
+// calls on the same path are not safe (they share the temp name).
 func (c *Classifier) SaveFile(path string) error {
+	data, _, err := c.EncodeSnapshot()
+	if err != nil {
+		return err
+	}
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -108,8 +157,8 @@ func (c *Classifier) SaveFile(path string) error {
 		os.Remove(tmp)
 		return err
 	}
-	if err := c.Save(f); err != nil {
-		return cleanup(err)
+	if _, err := f.Write(data); err != nil {
+		return cleanup(fmt.Errorf("core: save model: %w", err))
 	}
 	if err := f.Sync(); err != nil {
 		return cleanup(fmt.Errorf("core: save model: sync: %w", err))
@@ -131,17 +180,25 @@ func (c *Classifier) SaveFile(path string) error {
 	return nil
 }
 
-// Load reconstructs a classifier saved with Save: the k-d tree and grid
-// are rebuilt from the stored data, and the persisted threshold is used
-// directly, skipping the bootstrap and the full-dataset density pass.
-// All snapshot formats are accepted: v3 (flat buffer + backend tag),
-// v2 (flat buffer), and the legacy v1 (slice of rows), which is
-// converted to flat storage on the way in. A v3 snapshot's recorded
-// backend pins the loaded model's engine — an auto-selection policy
-// change between releases cannot silently flip a serving replica.
+// Load reconstructs a classifier saved with Save or SaveFile: the k-d
+// tree and grid are rebuilt from the stored data, and the persisted
+// threshold is used directly, skipping the bootstrap and the
+// full-dataset density pass. Framed streams (SaveFile, /snapshot) have
+// their payload verified against the recorded SHA-256 before any
+// decoding — a truncated or bit-flipped snapshot fails with a checksum
+// error, never a half-built model. All snapshot formats are accepted:
+// v3 (flat buffer + backend tag), v2 (flat buffer), and the legacy v1
+// (slice of rows), which is converted to flat storage on the way in. A
+// v3 snapshot's recorded backend pins the loaded model's engine — an
+// auto-selection policy change between releases cannot silently flip a
+// serving replica.
 func Load(r io.Reader) (*Classifier, error) {
+	payload, err := verifyFrame(r)
+	if err != nil {
+		return nil, err
+	}
 	var snap modelSnapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(payload).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("core: load model: %w", err)
 	}
 	var store *points.Store
@@ -189,5 +246,58 @@ func Load(r io.Reader) (*Classifier, error) {
 	c.tHigh = snap.THigh
 	c.threshold = snap.Threshold
 	c.train = snap.Train
+	return c, nil
+}
+
+// verifyFrame sniffs r for the integrity frame. Framed input has its
+// payload read whole and checked against the header SHA-256; the
+// returned reader then yields the verified payload. Bare-gob input
+// (legacy snapshots, Save output) is passed through untouched, with the
+// sniffed prefix stitched back on.
+func verifyFrame(r io.Reader) (io.Reader, error) {
+	head := make([]byte, len(frameMagic))
+	n, err := io.ReadFull(r, head)
+	if err != nil {
+		// Too short to even carry the magic: hand the bytes to gob, whose
+		// error ("EOF", "unexpected EOF") names the real problem.
+		return io.MultiReader(bytes.NewReader(head[:n]), r), nil
+	}
+	if string(head) != frameMagic {
+		return io.MultiReader(bytes.NewReader(head), r), nil
+	}
+	rest := make([]byte, 1+sha256.Size)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return nil, fmt.Errorf("core: load model: truncated snapshot frame: %w", err)
+	}
+	if rest[0] != frameVersion {
+		return nil, fmt.Errorf("core: load model: unsupported snapshot frame version %d (want %d)", rest[0], frameVersion)
+	}
+	want := rest[1:]
+	payload, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: load model: read snapshot payload: %w", err)
+	}
+	got := sha256.Sum256(payload)
+	if !bytes.Equal(got[:], want) {
+		return nil, fmt.Errorf("core: load model: snapshot checksum mismatch (want %s, got %s): torn or corrupted snapshot",
+			hex.EncodeToString(want), hex.EncodeToString(got[:]))
+	}
+	return bytes.NewReader(payload), nil
+}
+
+// LoadFile opens and loads a snapshot written by SaveFile, verifying the
+// recorded SHA-256 before deserializing. It is the file-path counterpart
+// of Load and the loud-failure guard for replicas booting off local
+// snapshots: a torn file surfaces as a checksum error naming the path.
+func LoadFile(path string) (*Classifier, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load model: %w", err)
+	}
+	defer f.Close()
+	c, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
 	return c, nil
 }

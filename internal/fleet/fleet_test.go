@@ -1,0 +1,45 @@
+package fleet
+
+import (
+	"math/rand"
+	"testing"
+
+	"tkdc/internal/core"
+	"tkdc/internal/stream"
+)
+
+// gauss2D generates n rows of a 2-d Gaussian shifted by off, so
+// different offsets train models with different thresholds (and
+// different snapshot bytes).
+func gauss2D(n int, seed int64, off float64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64() + off, rng.NormFloat64() + off}
+	}
+	return rows
+}
+
+// testConfig is a small, fast training configuration.
+func testConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.S0 = 2000
+	cfg.Seed = 42
+	return cfg
+}
+
+func trainSmall(t *testing.T, rows [][]float64) *core.Classifier {
+	t.Helper()
+	clf, err := core.Train(rows, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clf
+}
+
+// newLeaderModel trains a model and wraps it in a handle + publisher.
+func newLeaderModel(t *testing.T, n int) (*stream.Model, *Publisher) {
+	t.Helper()
+	model := stream.NewModel(trainSmall(t, gauss2D(n, 7, 0)))
+	return model, NewPublisher(model)
+}

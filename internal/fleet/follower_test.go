@@ -1,0 +1,416 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"tkdc/internal/stream"
+)
+
+// fakeLeader is a scripted /snapshot endpoint: it serves a real
+// publisher's bytes in mode "ok" and injects one fault class per other
+// mode, so follower behavior under each failure is tested in isolation.
+type fakeLeader struct {
+	mu    sync.Mutex
+	pub   *Publisher
+	mode  string // "ok", "500", "truncate", "badsum", "rollback"
+	old   *Snapshot
+	epoch string // override leader epoch; "" serves pub's
+}
+
+func (l *fakeLeader) setMode(mode string) {
+	l.mu.Lock()
+	l.mode = mode
+	l.mu.Unlock()
+}
+
+func (l *fakeLeader) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	l.mu.Lock()
+	mode, old, epoch := l.mode, l.old, l.epoch
+	l.mu.Unlock()
+
+	snap, err := l.pub.Current()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if epoch == "" {
+		epoch = l.pub.Epoch()
+	}
+	serve := func(s *Snapshot, sha string, body []byte) {
+		w.Header().Set(HeaderGeneration, strconv.FormatUint(s.Generation, 10))
+		w.Header().Set(HeaderSHA256, sha)
+		w.Header().Set(HeaderLeader, epoch)
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+	}
+
+	switch mode {
+	case "500":
+		http.Error(w, "leader mid-crash", http.StatusInternalServerError)
+	case "truncate":
+		// Promise the full body, deliver half: the client sees an
+		// unexpected EOF, exactly what a leader dying mid-response looks
+		// like.
+		w.Header().Set(HeaderGeneration, strconv.FormatUint(snap.Generation, 10))
+		w.Header().Set(HeaderSHA256, snap.SHA256)
+		w.Header().Set(HeaderLeader, epoch)
+		w.Header().Set("Content-Length", strconv.Itoa(len(snap.Data)))
+		w.WriteHeader(http.StatusOK)
+		w.Write(snap.Data[:len(snap.Data)/2])
+	case "badsum":
+		serve(snap, "0000000000000000000000000000000000000000000000000000000000000000", snap.Data)
+	case "rollback":
+		serve(old, old.SHA256, old.Data)
+	default:
+		// Honest leader, including conditional fetch.
+		if r.Header.Get("If-None-Match") == `"`+snap.SHA256+`"` {
+			w.Header().Set(HeaderGeneration, strconv.FormatUint(snap.Generation, 10))
+			w.Header().Set(HeaderSHA256, snap.SHA256)
+			w.Header().Set(HeaderLeader, epoch)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		serve(snap, snap.SHA256, snap.Data)
+	}
+}
+
+// newFakeLeader builds the scripted leader over a fresh model handle.
+func newFakeLeader(t *testing.T, n int) (*fakeLeader, *stream.Model, *httptest.Server) {
+	t.Helper()
+	model, pub := newLeaderModel(t, n)
+	l := &fakeLeader{pub: pub, mode: "ok"}
+	mux := http.NewServeMux()
+	mux.Handle("/snapshot", l)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return l, model, ts
+}
+
+// syncedFollower builds a follower and completes its first sync.
+func syncedFollower(t *testing.T, url string, cfg FollowerConfig) *Follower {
+	t.Helper()
+	cfg.URL = url
+	if cfg.PollEvery == 0 {
+		cfg.PollEvery = 10 * time.Millisecond
+	}
+	cfg.Seed = 1
+	f, err := NewFollower(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestFollowerSyncMatchesLeader: after Sync the replica classifies a
+// query set bit-identically to the leader, and a leader publish followed
+// by a poll converges it again.
+func TestFollowerSyncMatchesLeader(t *testing.T) {
+	_, model, ts := newFakeLeader(t, 400)
+	f := syncedFollower(t, ts.URL, FollowerConfig{})
+
+	queries := gauss2D(200, 3, 0)
+	assertBitIdentical(t, model, f.Model(), queries)
+
+	st := f.Stats()
+	if !st.Synced || st.AppliedGeneration != 1 || st.GenerationLag != 0 {
+		t.Fatalf("stats after sync = %+v", st)
+	}
+
+	// 304 path: nothing changed, nothing republished.
+	if applied, err := f.poll(); err != nil || applied {
+		t.Fatalf("poll unchanged = (%v, %v), want (false, nil)", applied, err)
+	}
+	if st := f.Stats(); st.NotModified != 1 {
+		t.Fatalf("NotModified = %d, want 1", st.NotModified)
+	}
+
+	// Retrain-driven generation bump.
+	model.Publish(trainSmall(t, gauss2D(400, 11, 2)))
+	if applied, err := f.poll(); err != nil || !applied {
+		t.Fatalf("poll after publish = (%v, %v), want (true, nil)", applied, err)
+	}
+	if st := f.Stats(); st.AppliedGeneration != 2 || st.LocalGeneration != 2 {
+		t.Fatalf("stats after second sync = %+v", st)
+	}
+	assertBitIdentical(t, model, f.Model(), queries)
+}
+
+// assertBitIdentical scores queries through both handles and requires
+// exactly equal labels and density bounds.
+func assertBitIdentical(t *testing.T, leader, replica *stream.Model, queries [][]float64) {
+	t.Helper()
+	if lt, rt := leader.Current().Threshold(), replica.Current().Threshold(); lt != rt {
+		t.Fatalf("thresholds differ: leader %v, replica %v", lt, rt)
+	}
+	for i, q := range queries {
+		lr, err := leader.Score(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := replica.Score(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lr.Label != rr.Label || lr.Lower != rr.Lower || lr.Upper != rr.Upper {
+			t.Fatalf("query %d diverges: leader %+v, replica %+v", i, lr, rr)
+		}
+	}
+}
+
+// TestFollowerFailureModes injects each fault class into an otherwise
+// healthy leader: the follower must reject the poll, keep serving the
+// last good model untouched, and recover as soon as the leader heals.
+func TestFollowerFailureModes(t *testing.T) {
+	cases := []struct {
+		mode         string
+		wantRejected bool // vs counted as failure
+	}{
+		{"500", false},
+		{"truncate", false},
+		{"badsum", true},
+		{"rollback", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.mode, func(t *testing.T) {
+			leader, model, ts := newFakeLeader(t, 400)
+			f := syncedFollower(t, ts.URL, FollowerConfig{})
+			before := f.Model().Current()
+
+			// Leader moves to gen 2; the rollback case replays gen 1's bytes
+			// with gen 1's (lower) generation header afterwards.
+			old, err := leader.pub.Current()
+			if err != nil {
+				t.Fatal(err)
+			}
+			leader.mu.Lock()
+			leader.old = old
+			leader.mu.Unlock()
+			model.Publish(trainSmall(t, gauss2D(400, 13, 2)))
+			if applied, err := f.poll(); err != nil || !applied {
+				t.Fatalf("converge to gen 2 = (%v, %v)", applied, err)
+			}
+			good := f.Model().Current()
+			if good == before {
+				t.Fatal("gen 2 did not swap the model")
+			}
+
+			// Inject the fault alongside a real gen-3 publish, so the
+			// follower is genuinely behind while the leader misbehaves.
+			model.Publish(trainSmall(t, gauss2D(400, 17, 4)))
+			leader.setMode(tc.mode)
+			applied, err := f.poll()
+			if err == nil || applied {
+				t.Fatalf("%s: poll = (%v, %v), want rejection", tc.mode, applied, err)
+			}
+			if f.Model().Current() != good {
+				t.Fatalf("%s: fault swapped the served model", tc.mode)
+			}
+			st := f.Stats()
+			if tc.wantRejected && st.Rejected == 0 {
+				t.Fatalf("%s: Rejected = 0, want > 0 (stats %+v)", tc.mode, st)
+			}
+			if !tc.wantRejected && st.Failures == 0 {
+				t.Fatalf("%s: Failures = 0, want > 0 (stats %+v)", tc.mode, st)
+			}
+			if st.LastError == "" {
+				t.Fatalf("%s: LastError empty after fault", tc.mode)
+			}
+			// Only faults that still advertised the new generation in their
+			// headers can surface lag (a bare 500 advertises nothing).
+			if (tc.mode == "truncate" || tc.mode == "badsum") && st.GenerationLag == 0 {
+				t.Fatalf("%s: GenerationLag = 0 while behind a known newer generation", tc.mode)
+			}
+
+			// Heal: the next poll converges to gen 3.
+			leader.setMode("ok")
+			if applied, err := f.poll(); err != nil || !applied {
+				t.Fatalf("%s: poll after heal = (%v, %v)", tc.mode, applied, err)
+			}
+			st = f.Stats()
+			if st.AppliedGeneration != 3 || st.GenerationLag != 0 || st.LastError != "" {
+				t.Fatalf("%s: stats after heal = %+v", tc.mode, st)
+			}
+			assertBitIdentical(t, model, f.Model(), gauss2D(100, 5, 0))
+		})
+	}
+}
+
+// TestFollowerLeaderRestart: a new leader epoch legitimately resets the
+// generation counter; the follower must adopt the restarted leader's
+// generation 1 instead of treating it as a regression.
+func TestFollowerLeaderRestart(t *testing.T) {
+	leader, model, ts := newFakeLeader(t, 400)
+	f := syncedFollower(t, ts.URL, FollowerConfig{})
+	model.Publish(trainSmall(t, gauss2D(400, 19, 2)))
+	if _, err := f.poll(); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Stats(); st.AppliedGeneration != 2 {
+		t.Fatalf("applied gen = %d, want 2", st.AppliedGeneration)
+	}
+
+	// "Restart" the leader: fresh model handle (gen 1), fresh epoch.
+	restarted := stream.NewModel(trainSmall(t, gauss2D(400, 23, 5)))
+	pub2 := NewPublisher(restarted)
+	leader.mu.Lock()
+	leader.pub = pub2
+	leader.epoch = pub2.Epoch()
+	leader.mu.Unlock()
+
+	if applied, err := f.poll(); err != nil || !applied {
+		t.Fatalf("poll after restart = (%v, %v), want applied", applied, err)
+	}
+	st := f.Stats()
+	if st.AppliedGeneration != 1 || st.LeaderEpoch != pub2.Epoch() {
+		t.Fatalf("stats after restart = %+v, want applied gen 1 under new epoch", st)
+	}
+	if st.LocalGeneration != 3 {
+		t.Fatalf("local generation = %d, want 3 (monotone across leader restarts)", st.LocalGeneration)
+	}
+	assertBitIdentical(t, restarted, f.Model(), gauss2D(100, 5, 0))
+}
+
+// TestFollowerStaleness: the staleness clock trips after StaleAfter
+// without leader contact and clears on the next successful poll.
+func TestFollowerStaleness(t *testing.T) {
+	leader, _, ts := newFakeLeader(t, 300)
+	f := syncedFollower(t, ts.URL, FollowerConfig{StaleAfter: 50 * time.Millisecond})
+	if f.Stale() {
+		t.Fatal("stale immediately after sync")
+	}
+	leader.setMode("500")
+	time.Sleep(70 * time.Millisecond)
+	if _, err := f.poll(); err == nil {
+		t.Fatal("500 poll succeeded")
+	}
+	if !f.Stale() {
+		t.Fatal("not stale after StaleAfter of failed polls")
+	}
+	if st := f.Stats(); !st.Stale {
+		t.Fatal("Stats does not surface staleness")
+	}
+	leader.setMode("ok")
+	if _, err := f.poll(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Stale() {
+		t.Fatal("still stale after a successful poll (304 or fetch must clear it)")
+	}
+}
+
+// TestFollowerBadConfig pins constructor validation.
+func TestFollowerBadConfig(t *testing.T) {
+	if _, err := NewFollower(FollowerConfig{}); err == nil {
+		t.Fatal("empty URL accepted")
+	}
+	if _, err := NewFollower(FollowerConfig{URL: "leader:8080"}); err == nil {
+		t.Fatal("scheme-less URL accepted")
+	}
+}
+
+// TestFollowerBackoffBounds: the retry delay grows from PollEvery and
+// never exceeds MaxBackoff (both jittered ±20%).
+func TestFollowerBackoffBounds(t *testing.T) {
+	f, err := NewFollower(FollowerConfig{
+		URL:        "http://leader",
+		PollEvery:  100 * time.Millisecond,
+		MaxBackoff: time.Second,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevMax := time.Duration(0)
+	for attempt := 0; attempt < 10; attempt++ {
+		d := f.backoff(attempt)
+		if d < 80*time.Millisecond || d > 1200*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v outside [0.8·PollEvery, 1.2·MaxBackoff]", attempt, d)
+		}
+		if attempt >= 5 && d < prevMax/4 {
+			t.Fatalf("backoff(%d) = %v collapsed far below earlier %v", attempt, d, prevMax)
+		}
+		if d > prevMax {
+			prevMax = d
+		}
+	}
+}
+
+// TestFollowerChurnHammer races readers against rapid generation churn:
+// a leader republishing every millisecond, a follower polling flat-out,
+// and several goroutines querying through the follower's Model the whole
+// time. Run under -race this pins the lock discipline of the swap path.
+func TestFollowerChurnHammer(t *testing.T) {
+	_, model, ts := newFakeLeader(t, 300)
+	f := syncedFollower(t, ts.URL, FollowerConfig{PollEvery: time.Millisecond})
+	f.Start()
+	defer f.Close()
+
+	// Two pre-trained classifiers alternate, so consecutive generations
+	// always differ (identical bytes would 304 and defeat the churn).
+	a := trainSmall(t, gauss2D(300, 31, 1))
+	b := trainSmall(t, gauss2D(300, 37, 2))
+
+	stop := make(chan struct{})
+	var churns sync.WaitGroup
+	churns.Add(1)
+	go func() {
+		defer churns.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+			}
+			if i%2 == 0 {
+				model.Publish(a)
+			} else {
+				model.Publish(b)
+			}
+		}
+	}()
+
+	queries := gauss2D(50, 41, 0)
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, q := range queries {
+					if _, err := f.Model().Score(q); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				_ = f.Stats()
+				_ = f.Stale()
+			}
+		}()
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	churns.Wait()
+	readers.Wait()
+
+	if st := f.Stats(); st.Applied < 2 {
+		t.Fatalf("hammer applied only %d snapshots; churn did not reach the follower (stats %+v)", st.Applied, st)
+	}
+}

@@ -1,0 +1,243 @@
+// Package fleet is the replication subsystem: one trainer, N stateless
+// serving replicas, connected by pull-based snapshot distribution.
+//
+// The leader side is a Publisher wrapped around the trainer's live
+// stream.Model handle. It serializes the current generation into the
+// framed snapshot format (the same bytes SaveFile writes), caches the
+// encoding per generation, and serves it over two HTTP endpoints:
+// GET /snapshot (the bytes, with ETag/X-Tkdc-Generation headers and
+// If-None-Match / ?after=GEN conditional fetches answering 304 when
+// nothing changed) and GET /snapshot/meta (generation, size, SHA-256,
+// backend, trained-at as JSON).
+//
+// The follower side is a Follower that polls a leader URL with jittered
+// exponential backoff, validates the checksum, loads a fresh classifier,
+// and publishes it through its own stream.Model handle so in-flight
+// queries never block on a swap. It tolerates leader restarts (a leader
+// epoch ID distinguishes a restarted leader from a generation
+// regression), torn responses, checksum mismatches, and rollbacks: on
+// any fault it keeps serving the last good model and retries, surfacing
+// staleness through Stats and the server's /healthz.
+package fleet
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tkdc/internal/stream"
+)
+
+// Snapshot is one serialized model generation as the leader serves it.
+type Snapshot struct {
+	// Generation is the model handle's generation number.
+	Generation uint64
+	// Data is the framed snapshot encoding — byte-identical to what
+	// Classifier.SaveFile writes and core.Load accepts.
+	Data []byte
+	// SHA256 is the lowercase hex SHA-256 of Data (what `sha256sum`
+	// reports on a saved snapshot file); it doubles as the ETag.
+	SHA256 string
+	// Backend, N, and Dim describe the encoded model; TrainedAt is when
+	// its generation was published.
+	Backend   string
+	N, Dim    int
+	TrainedAt time.Time
+}
+
+// Header names of the snapshot endpoints. X-Tkdc-Leader carries the
+// leader epoch ID — a random token minted per Publisher — which is how a
+// follower tells "the leader restarted and its generation counter reset"
+// apart from "the leader served an older generation than I already have".
+const (
+	HeaderGeneration = "X-Tkdc-Generation"
+	HeaderSHA256     = "X-Tkdc-Sha256"
+	HeaderLeader     = "X-Tkdc-Leader"
+	HeaderBackend    = "X-Tkdc-Backend"
+)
+
+// Publisher serves the live model's snapshot bytes to followers. It
+// watches a stream.Model handle: every Current call compares the
+// handle's generation against the cached encoding and re-serializes only
+// when a publish (background retrain or manual) moved it, so steady-state
+// fetches cost one atomic load plus a cache hit regardless of fleet size.
+type Publisher struct {
+	model *stream.Model
+	epoch string
+
+	mu  sync.Mutex
+	cur *Snapshot
+
+	fetches     atomic.Int64 // /snapshot requests answered with bytes
+	notModified atomic.Int64 // /snapshot requests answered 304
+}
+
+// NewPublisher wraps the serving handle. The same handle the queries
+// read through is the one replicated, so followers can never observe a
+// generation the leader's own queries have not.
+func NewPublisher(m *stream.Model) *Publisher {
+	if m == nil {
+		panic("fleet: NewPublisher with nil model")
+	}
+	return &Publisher{model: m, epoch: newEpoch()}
+}
+
+// newEpoch mints the leader epoch ID: 8 random bytes, hex-encoded.
+func newEpoch() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back to
+		// a constant rather than take the process down for an ID.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Epoch returns the leader epoch ID served in X-Tkdc-Leader.
+func (p *Publisher) Epoch() string { return p.epoch }
+
+// Current returns the snapshot of the live generation, re-encoding it if
+// a publish landed since the last call. The returned Snapshot is
+// immutable — handlers serve Data without copying.
+func (p *Publisher) Current() (*Snapshot, error) {
+	gen := p.model.Generation()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cur != nil && p.cur.Generation == gen {
+		return p.cur, nil
+	}
+	// Re-read coherently under the lock: the generation may have advanced
+	// again since the unlocked peek, and clf/gen/born must match.
+	clf, gen, born := p.model.View()
+	data, sum, err := clf.EncodeSnapshot()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: encode snapshot: %w", err)
+	}
+	p.cur = &Snapshot{
+		Generation: gen,
+		Data:       data,
+		SHA256:     hex.EncodeToString(sum[:]),
+		Backend:    clf.Backend(),
+		N:          clf.N(),
+		Dim:        clf.Dim(),
+		TrainedAt:  born,
+	}
+	return p.cur, nil
+}
+
+// Refresh eagerly re-encodes the live generation. The streaming
+// lifecycle calls it from its publish hook so the serialization cost is
+// paid once in the retrain goroutine instead of on the first follower
+// fetch after a swap.
+func (p *Publisher) Refresh() {
+	_, _ = p.Current()
+}
+
+// Counters reports how many /snapshot requests were served with bytes
+// and how many were answered 304 Not Modified.
+func (p *Publisher) Counters() (fetches, notModified int64) {
+	return p.fetches.Load(), p.notModified.Load()
+}
+
+// setHeaders writes the snapshot identity headers shared by 200 and 304
+// responses, so a conditional fetch still tells the follower where the
+// leader is.
+func (p *Publisher) setHeaders(w http.ResponseWriter, snap *Snapshot) {
+	h := w.Header()
+	h.Set("ETag", `"`+snap.SHA256+`"`)
+	h.Set(HeaderGeneration, strconv.FormatUint(snap.Generation, 10))
+	h.Set(HeaderSHA256, snap.SHA256)
+	h.Set(HeaderLeader, p.epoch)
+	h.Set(HeaderBackend, snap.Backend)
+}
+
+// ServeSnapshot handles GET /snapshot: the current generation's framed
+// bytes. Conditional forms answer 304 Not Modified with the identity
+// headers but no body:
+//
+//   - If-None-Match: "<sha256>" — unchanged content (the usual follower
+//     poll; ETag comparison is what survives leader restarts, since a
+//     rebuilt-but-identical model re-serves the same bytes).
+//   - ?after=GEN — the caller already holds generation GEN or newer.
+func (p *Publisher) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "GET the current model snapshot", http.StatusMethodNotAllowed)
+		return
+	}
+	snap, err := p.Current()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	p.setHeaders(w, snap)
+	if notModified(r, snap) {
+		p.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(snap.Data)))
+	w.WriteHeader(http.StatusOK)
+	if r.Method == http.MethodHead {
+		return
+	}
+	p.fetches.Add(1)
+	w.Write(snap.Data)
+}
+
+// notModified reports whether the request's conditions say the caller is
+// already current.
+func notModified(r *http.Request, snap *Snapshot) bool {
+	if match := r.Header.Get("If-None-Match"); match != "" {
+		for _, part := range strings.Split(match, ",") {
+			part = strings.TrimSpace(part)
+			if part == `"`+snap.SHA256+`"` || part == snap.SHA256 || part == "*" {
+				return true
+			}
+		}
+	}
+	if after := r.URL.Query().Get("after"); after != "" {
+		if gen, err := strconv.ParseUint(after, 10, 64); err == nil && snap.Generation <= gen {
+			return true
+		}
+	}
+	return false
+}
+
+// Meta is the GET /snapshot/meta response body.
+type Meta struct {
+	Generation uint64    `json:"generation"`
+	Bytes      int       `json:"bytes"`
+	SHA256     string    `json:"sha256"`
+	Backend    string    `json:"backend"`
+	N          int       `json:"n"`
+	Dim        int       `json:"dim"`
+	TrainedAt  time.Time `json:"trained_at"`
+	Leader     string    `json:"leader_epoch"`
+}
+
+// CurrentMeta describes the current generation without handing out the
+// bytes — what /snapshot/meta serves and what /model embeds.
+func (p *Publisher) CurrentMeta() (Meta, error) {
+	snap, err := p.Current()
+	if err != nil {
+		return Meta{}, err
+	}
+	return Meta{
+		Generation: snap.Generation,
+		Bytes:      len(snap.Data),
+		SHA256:     snap.SHA256,
+		Backend:    snap.Backend,
+		N:          snap.N,
+		Dim:        snap.Dim,
+		TrainedAt:  snap.TrainedAt,
+		Leader:     p.epoch,
+	}, nil
+}

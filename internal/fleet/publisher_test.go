@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"tkdc/internal/core"
+)
+
+// TestPublisherServesFramedSnapshot pins the /snapshot contract: the
+// body is a loadable framed snapshot, the headers identify generation,
+// checksum, leader epoch, and backend, and the checksum matches the
+// bytes served.
+func TestPublisherServesFramedSnapshot(t *testing.T) {
+	model, pub := newLeaderModel(t, 300)
+
+	rec := httptest.NewRecorder()
+	pub.ServeSnapshot(rec, httptest.NewRequest(http.MethodGet, "/snapshot", nil))
+	resp := rec.Result()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+
+	sum := sha256.Sum256(body)
+	if got := resp.Header.Get(HeaderSHA256); got != hex.EncodeToString(sum[:]) {
+		t.Fatalf("checksum header %q does not hash the body (%s)", got, hex.EncodeToString(sum[:]))
+	}
+	if got := resp.Header.Get("ETag"); got != `"`+hex.EncodeToString(sum[:])+`"` {
+		t.Fatalf("ETag %q is not the quoted checksum", got)
+	}
+	if got := resp.Header.Get(HeaderGeneration); got != "1" {
+		t.Fatalf("generation header = %q, want 1", got)
+	}
+	if got := resp.Header.Get(HeaderLeader); got != pub.Epoch() || got == "" {
+		t.Fatalf("leader header = %q, want epoch %q", got, pub.Epoch())
+	}
+	if got := resp.Header.Get(HeaderBackend); got != model.Current().Backend() {
+		t.Fatalf("backend header = %q, want %q", got, model.Current().Backend())
+	}
+
+	loaded, err := core.Load(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("served snapshot does not load: %v", err)
+	}
+	if loaded.Threshold() != model.Current().Threshold() {
+		t.Fatal("loaded snapshot differs from the live model")
+	}
+}
+
+// TestPublisherConditionalFetch covers both 304 forms: If-None-Match
+// with the current ETag, and ?after= with the current (or newer)
+// generation — and that both still carry the identity headers.
+func TestPublisherConditionalFetch(t *testing.T) {
+	model, pub := newLeaderModel(t, 300)
+	snap, err := pub.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(target, etag string) *http.Response {
+		t.Helper()
+		req := httptest.NewRequest(http.MethodGet, target, nil)
+		if etag != "" {
+			req.Header.Set("If-None-Match", etag)
+		}
+		rec := httptest.NewRecorder()
+		pub.ServeSnapshot(rec, req)
+		return rec.Result()
+	}
+
+	if resp := get("/snapshot", `"`+snap.SHA256+`"`); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("If-None-Match match: status %d, want 304", resp.StatusCode)
+	} else if resp.Header.Get(HeaderGeneration) != "1" {
+		t.Fatal("304 dropped the generation header")
+	}
+	if resp := get("/snapshot", `"deadbeef"`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("If-None-Match mismatch: status %d, want 200", resp.StatusCode)
+	}
+	if resp := get("/snapshot?after=1", ""); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("?after=current: status %d, want 304", resp.StatusCode)
+	}
+	if resp := get("/snapshot?after=0", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("?after=older: status %d, want 200", resp.StatusCode)
+	}
+
+	// A publish invalidates both conditions.
+	model.Publish(trainSmall(t, gauss2D(300, 8, 3)))
+	if resp := get("/snapshot?after=1", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("?after=1 with gen 2 live: status %d, want 200", resp.StatusCode)
+	}
+	if resp := get("/snapshot", `"`+snap.SHA256+`"`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale ETag with gen 2 live: status %d, want 200", resp.StatusCode)
+	} else if resp.Header.Get(HeaderGeneration) != "2" {
+		t.Fatalf("generation header = %q, want 2", resp.Header.Get(HeaderGeneration))
+	}
+
+	fetches, notMod := pub.Counters()
+	if fetches == 0 || notMod == 0 {
+		t.Fatalf("counters = (%d, %d), want both nonzero", fetches, notMod)
+	}
+}
+
+// TestPublisherCachesEncoding verifies the per-generation cache: two
+// Current calls without a publish return the same Snapshot pointer; a
+// publish produces a new one.
+func TestPublisherCachesEncoding(t *testing.T) {
+	model, pub := newLeaderModel(t, 300)
+	a, err := pub.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := pub.Current()
+	if a != b {
+		t.Fatal("Current re-encoded an unchanged generation")
+	}
+	model.Publish(trainSmall(t, gauss2D(300, 9, 2)))
+	c, _ := pub.Current()
+	if c == a || c.Generation != 2 {
+		t.Fatalf("Current after publish: gen %d (same pointer: %v), want gen 2, fresh", c.Generation, c == a)
+	}
+}
+
+// TestPublisherMeta pins the /snapshot/meta JSON shape.
+func TestPublisherMeta(t *testing.T) {
+	model, pub := newLeaderModel(t, 300)
+	snap, err := pub.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := pub.CurrentMeta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["sha256"] != snap.SHA256 || m["generation"] != float64(1) {
+		t.Fatalf("meta = %v, want sha %s gen 1", m, snap.SHA256)
+	}
+	if int(m["bytes"].(float64)) != len(snap.Data) {
+		t.Fatalf("meta bytes = %v, want %d", m["bytes"], len(snap.Data))
+	}
+	if m["backend"] != model.Current().Backend() || m["n"] != float64(model.Current().N()) {
+		t.Fatalf("meta model fields wrong: %v", m)
+	}
+	if m["leader_epoch"] != pub.Epoch() {
+		t.Fatalf("meta leader_epoch = %v, want %s", m["leader_epoch"], pub.Epoch())
+	}
+}
+
+// TestPublisherMethodGuards rejects non-GET snapshot fetches.
+func TestPublisherMethodGuards(t *testing.T) {
+	_, pub := newLeaderModel(t, 300)
+	rec := httptest.NewRecorder()
+	pub.ServeSnapshot(rec, httptest.NewRequest(http.MethodPost, "/snapshot", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /snapshot = %d, want 405", rec.Code)
+	}
+}
+
+// TestPublisherHeadOmitsBody: HEAD answers the headers (including
+// Content-Length) with no body, so probes stay cheap.
+func TestPublisherHeadOmitsBody(t *testing.T) {
+	_, pub := newLeaderModel(t, 300)
+	rec := httptest.NewRecorder()
+	pub.ServeSnapshot(rec, httptest.NewRequest(http.MethodHead, "/snapshot", nil))
+	resp := rec.Result()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HEAD /snapshot = %d, want 200", resp.StatusCode)
+	}
+	if body, _ := io.ReadAll(resp.Body); len(body) != 0 {
+		t.Fatalf("HEAD served %d body bytes", len(body))
+	}
+	if cl, _ := strconv.Atoi(resp.Header.Get("Content-Length")); cl == 0 {
+		t.Fatal("HEAD dropped Content-Length")
+	}
+}

@@ -187,6 +187,9 @@ func TestMetricsExpositionGolden(t *testing.T) {
 		"tkdc_stream_drift_probes_total counter",
 		"tkdc_stream_drift_score gauge",
 		"tkdc_stream_last_retrain_seconds gauge",
+		"tkdc_snapshot_bytes gauge",
+		"tkdc_snapshot_fetches_total counter",
+		"tkdc_snapshot_not_modified_total counter",
 		"tkdc_traces_total counter",
 		"tkdc_traces_straddling_total counter",
 		"tkdc_slow_queries_total counter",

@@ -1,0 +1,252 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tkdc/internal/fleet"
+	"tkdc/internal/stream"
+	"tkdc/internal/telemetry"
+)
+
+// fleetLeader is a streaming leader whose /snapshot endpoint can be
+// fault-injected: while broken is set, snapshot fetches answer 500 (the
+// rest of the API stays healthy, like a leader with a sick disk).
+func fleetLeader(t *testing.T) (ts *httptest.Server, svc *stream.Service, broken *atomic.Bool) {
+	t.Helper()
+	inner, svc := streamServer(t, Options{})
+	handler := inner.Config.Handler
+	inner.Close()
+	broken = &atomic.Bool{}
+	ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if broken.Load() && strings.HasPrefix(r.URL.Path, "/snapshot") {
+			http.Error(w, "injected snapshot fault", http.StatusInternalServerError)
+			return
+		}
+		handler.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, svc, broken
+}
+
+// postRaw returns the raw response body so bit-identical comparisons
+// do not go through float re-parsing.
+func postRaw(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(raw)
+}
+
+// waitForGeneration polls the follower's stats until it has applied the
+// wanted leader generation.
+func waitForGeneration(t *testing.T, f *fleet.Follower, gen uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if f.Stats().AppliedGeneration >= gen {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("follower stuck at generation %d, want %d (stats %+v)",
+		f.Stats().AppliedGeneration, gen, f.Stats())
+}
+
+// TestFleetEndToEnd is the acceptance test for the replication
+// subsystem: a real streaming leader and a real follower server, with
+// the follower converging across a retrain-driven generation bump and
+// an injected snapshot fault, classifying bit-identically throughout.
+func TestFleetEndToEnd(t *testing.T) {
+	leaderTS, svc, broken := fleetLeader(t)
+
+	f, err := fleet.NewFollower(fleet.FollowerConfig{
+		URL:        leaderTS.URL,
+		PollEvery:  5 * time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond, // keep recovery quick under fault injection
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	t.Cleanup(f.Close)
+
+	followerTS := httptest.NewServer(New(nil, Options{
+		Follower: f,
+		Registry: telemetry.NewRegistry(),
+	}))
+	t.Cleanup(followerTS.Close)
+
+	queries := `{"points":[[0,0],[0.5,-0.5],[3,3],[-2,1],[0.1,0.9]]}`
+	assertSameAnswers := func(stage string) {
+		t.Helper()
+		lc, lb := postRaw(t, leaderTS.URL+"/classify?density=1", queries)
+		fc, fb := postRaw(t, followerTS.URL+"/classify?density=1", queries)
+		if lc != http.StatusOK || fc != http.StatusOK {
+			t.Fatalf("%s: classify status leader=%d follower=%d", stage, lc, fc)
+		}
+		if lb != fb {
+			t.Fatalf("%s: follower diverges from leader:\nleader:   %s\nfollower: %s", stage, lb, fb)
+		}
+	}
+	assertSameAnswers("after first sync")
+
+	// Follower identity on the observability surface.
+	resp, model := getJSON(t, followerTS.URL+"/model")
+	if resp.StatusCode != http.StatusOK || model["role"] != "follower" {
+		t.Fatalf("follower /model = %v", model)
+	}
+	if model["leader_url"] != leaderTS.URL || model["applied_generation"].(float64) != 1 {
+		t.Fatalf("follower /model identity fields = %v", model)
+	}
+	if _, ok := model["snapshot_sha256"]; !ok {
+		t.Fatal("follower /model missing snapshot_sha256 (followers are valid leaders for chaining)")
+	}
+	_, health := getJSON(t, followerTS.URL+"/healthz")
+	if health["role"] != "follower" || health["status"] != "ok" {
+		t.Fatalf("follower /healthz = %v", health)
+	}
+
+	// Retrain-driven generation bump: ingest shifted data, retrain, and
+	// the follower must converge and still answer identically. (Each
+	// retrain is preceded by an ingest so the new generation's bytes
+	// actually differ — identical bytes would legitimately answer 304.)
+	if code, body := postRaw(t, leaderTS.URL+"/ingest", `{"points":[[4,4],[4.2,3.9],[3.8,4.1],[4.1,4.2]]}`); code != http.StatusOK {
+		t.Fatalf("ingest = %d: %s", code, body)
+	}
+	if err := svc.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	waitForGeneration(t, f, 2)
+	assertSameAnswers("after retrain bump")
+
+	// Injected fault: the leader's snapshot endpoint dies while a new
+	// generation lands. The follower keeps serving generation 2.
+	broken.Store(true)
+	if code, body := postRaw(t, leaderTS.URL+"/ingest", `{"points":[[-4,-4],[-4.1,-3.8],[-3.9,-4.2]]}`); code != http.StatusOK {
+		t.Fatalf("ingest during fault = %d: %s", code, body)
+	}
+	if err := svc.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // a few failing polls
+	if got := f.Stats().AppliedGeneration; got != 2 {
+		t.Fatalf("follower applied gen %d during fault, want to hold at 2", got)
+	}
+	if code, _ := postRaw(t, followerTS.URL+"/classify", queries); code != http.StatusOK {
+		t.Fatalf("follower stopped serving during leader fault: %d", code)
+	}
+	if f.Stats().Failures == 0 {
+		t.Fatal("injected fault produced no recorded failures")
+	}
+
+	// Heal: the follower recovers to generation 3 and matches again.
+	broken.Store(false)
+	waitForGeneration(t, f, 3)
+	assertSameAnswers("after fault heal")
+
+	// The follower's own metrics expose the fleet series.
+	exp := getMetrics(t, followerTS.URL)
+	for _, name := range []string{
+		"tkdc_fleet_generation_lag", "tkdc_fleet_polls_total",
+		"tkdc_fleet_syncs_total", "tkdc_fleet_failures_total",
+	} {
+		if !strings.Contains(exp, name+" ") {
+			t.Errorf("follower /metrics missing %s", name)
+		}
+	}
+	if got := metricValue(t, exp, "tkdc_fleet_generation_lag"); got != 0 {
+		t.Errorf("generation lag = %d after convergence, want 0", got)
+	}
+
+	// Chaining: the follower itself serves /snapshot, so a second tier
+	// of replicas could follow it.
+	chainResp, err := http.Get(followerTS.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, chainResp.Body)
+	chainResp.Body.Close()
+	if chainResp.StatusCode != http.StatusOK {
+		t.Fatalf("follower /snapshot = %d, want 200 (fan-out chaining)", chainResp.StatusCode)
+	}
+	if chainResp.Header.Get(fleet.HeaderGeneration) == "" {
+		t.Fatal("follower /snapshot missing generation header")
+	}
+}
+
+// TestFollowerHealthzStale: a stale follower flips /healthz to 503 while
+// /classify keeps answering from the last good model.
+func TestFollowerHealthzStale(t *testing.T) {
+	leaderTS, _, broken := fleetLeader(t)
+	f, err := fleet.NewFollower(fleet.FollowerConfig{
+		URL:        leaderTS.URL,
+		PollEvery:  5 * time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond,
+		StaleAfter: 30 * time.Millisecond,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	t.Cleanup(f.Close)
+	ts := httptest.NewServer(New(nil, Options{Follower: f, Registry: telemetry.NewRegistry()}))
+	t.Cleanup(ts.Close)
+
+	broken.Store(true)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, body := getJSON(t, ts.URL+"/healthz")
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if body["status"] != "stale" {
+				t.Fatalf("503 /healthz body = %v, want status stale", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never went stale: %v", body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if code, _ := postRaw(t, ts.URL+"/classify", `{"points":[[0,0]]}`); code != http.StatusOK {
+		t.Fatalf("stale follower refused queries: %d (staleness drains, it must not stop serving)", code)
+	}
+
+	broken.Store(false)
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		resp, _ := getJSON(t, ts.URL+"/healthz")
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("follower never recovered from staleness")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

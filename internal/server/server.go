@@ -31,6 +31,7 @@ import (
 
 	"tkdc/internal/core"
 	"tkdc/internal/dataset"
+	"tkdc/internal/fleet"
 	"tkdc/internal/stream"
 	"tkdc/internal/telemetry"
 )
@@ -62,19 +63,33 @@ type Options struct {
 	// Registry (if any); with neither, the endpoint reports tracing
 	// disabled.
 	Flight *telemetry.FlightRecorder
+	// Follower, when non-nil, makes this a replication replica: queries
+	// read the follower's live Model handle (clf and Stream are ignored),
+	// /model reports leader URL and generation lag, and /healthz answers
+	// 503 once the follower goes stale so load balancers drain it. The
+	// follower must have completed its first Sync (Model() non-nil) and
+	// the caller owns its lifecycle (Sync/Start/Close).
+	Follower *fleet.Follower
+	// Publisher overrides the snapshot publisher behind GET /snapshot
+	// and /snapshot/meta. Nil builds one over the serving model handle —
+	// every server is a valid replication leader (including a follower,
+	// which makes fan-out chains possible).
+	Publisher *fleet.Publisher
 }
 
 // Server serves classification and observability endpoints over one
 // trained classifier. It implements http.Handler; every request passes
 // through the structured-logging middleware.
 type Server struct {
-	model  *stream.Model   // zero-downtime read handle; never nil
-	svc    *stream.Service // nil when serving a static model
-	reg    *telemetry.Registry
-	flight *telemetry.FlightRecorder // nil when per-query tracing is off
-	log    *slog.Logger
-	max    int64
-	mux    *http.ServeMux
+	model    *stream.Model   // zero-downtime read handle; never nil
+	svc      *stream.Service // nil when serving a static model
+	follower *fleet.Follower // nil unless replicating a leader
+	pub      *fleet.Publisher
+	reg      *telemetry.Registry
+	flight   *telemetry.FlightRecorder // nil when per-query tracing is off
+	log      *slog.Logger
+	max      int64
+	mux      *http.ServeMux
 
 	started  time.Time
 	requests atomic.Int64
@@ -95,18 +110,29 @@ var (
 // that lifecycle's live handle instead and clf may be nil.
 func New(clf *core.Classifier, opts Options) *Server {
 	s := &Server{
-		svc:     opts.Stream,
-		reg:     opts.Registry,
-		flight:  opts.Flight,
-		log:     opts.Logger,
-		max:     opts.MaxBodyBytes,
-		mux:     http.NewServeMux(),
-		started: time.Now(),
+		svc:      opts.Stream,
+		follower: opts.Follower,
+		reg:      opts.Registry,
+		flight:   opts.Flight,
+		log:      opts.Logger,
+		max:      opts.MaxBodyBytes,
+		mux:      http.NewServeMux(),
+		started:  time.Now(),
 	}
-	if s.svc != nil {
+	switch {
+	case s.follower != nil:
+		s.model = s.follower.Model()
+		if s.model == nil {
+			panic("server: New with an unsynced follower (call Follower.Sync first)")
+		}
+	case s.svc != nil:
 		s.model = s.svc.Model()
-	} else {
+	default:
 		s.model = stream.NewModel(clf)
+	}
+	s.pub = opts.Publisher
+	if s.pub == nil {
+		s.pub = fleet.NewPublisher(s.model)
 	}
 	if s.reg == nil {
 		s.reg = telemetry.Default
@@ -123,6 +149,8 @@ func New(clf *core.Classifier, opts Options) *Server {
 	s.mux.HandleFunc("/ingest", s.handleIngest)
 	s.mux.HandleFunc("/model", s.handleModel)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/snapshot", s.pub.ServeSnapshot)
+	s.mux.HandleFunc("/snapshot/meta", s.handleSnapshotMeta)
 	s.mux.HandleFunc("/debug/queries", s.handleDebugQueries)
 	s.mux.Handle("/debug/vars", expvar.Handler())
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -191,16 +219,50 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// handleHealthz answers 200 while the replica is fit to serve. A
+// follower past its staleness threshold answers 503 ("stale") so load
+// balancers drain it — it still serves /classify from the last good
+// model; the health flip is advisory draining, not a hard stop.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	clf, gen, _ := s.model.View()
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":         "ok",
 		"n":              clf.N(),
 		"dim":            clf.Dim(),
 		"threshold":      clf.Threshold(),
 		"generation":     gen,
 		"uptime_seconds": time.Since(s.started).Seconds(),
-	})
+	}
+	code := http.StatusOK
+	if s.follower != nil {
+		fs := s.follower.Stats()
+		resp["role"] = "follower"
+		resp["generation_lag"] = fs.GenerationLag
+		resp["last_sync_seconds"] = fs.SinceSync.Seconds()
+		if fs.Stale {
+			resp["status"] = "stale"
+			code = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, code, resp)
+}
+
+// handleSnapshotMeta serves GET /snapshot/meta: the current generation's
+// descriptor (generation, byte size, SHA-256, backend, trained-at)
+// without the bytes, so `curl /snapshot/meta` answers "is the fleet
+// converged" cheaply.
+func (s *Server) handleSnapshotMeta(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET the current snapshot descriptor")
+		return
+	}
+	meta, err := s.pub.CurrentMeta()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, meta)
 }
 
 // classifyRequest is the JSON request body: {"points": [[x, y], ...]}.
@@ -370,6 +432,31 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		"backend":     clf.Backend(),
 		"streaming":   s.svc != nil,
 	}
+	// Fleet state, debuggable with curl: what bytes this process would
+	// hand a follower, and (as a follower) how far behind the leader it
+	// is. CurrentMeta is cached per generation, so this stays cheap.
+	if meta, err := s.pub.CurrentMeta(); err == nil {
+		resp["snapshot_sha256"] = meta.SHA256
+		resp["snapshot_bytes"] = meta.Bytes
+	}
+	if s.follower != nil {
+		fs := s.follower.Stats()
+		resp["role"] = "follower"
+		resp["leader_url"] = fs.LeaderURL
+		resp["leader_generation"] = fs.LeaderGeneration
+		resp["applied_generation"] = fs.AppliedGeneration
+		resp["generation_lag"] = fs.GenerationLag
+		resp["last_sync_seconds"] = fs.SinceSync.Seconds()
+		resp["stale"] = fs.Stale
+		resp["syncs"] = fs.Applied
+		resp["poll_failures"] = fs.Failures
+		resp["rejected_snapshots"] = fs.Rejected
+		if fs.LastError != "" {
+			resp["last_error"] = fs.LastError
+		}
+	} else {
+		resp["role"] = "leader"
+	}
 	if s.svc != nil {
 		st := s.svc.Stats()
 		resp["ingested_total"] = st.Ingested
@@ -468,6 +555,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeGauge("tkdc_stream_drift_score", st.DriftScore)
 		writeGauge("tkdc_stream_last_retrain_seconds", st.LastRetrainDuration.Seconds())
 	}
+	if meta, err := s.pub.CurrentMeta(); err == nil {
+		writeGauge("tkdc_snapshot_bytes", meta.Bytes)
+	}
+	fetches, notMod := s.pub.Counters()
+	fmt.Fprintf(&b, "# TYPE tkdc_snapshot_fetches_total counter\ntkdc_snapshot_fetches_total %d\n", fetches)
+	fmt.Fprintf(&b, "# TYPE tkdc_snapshot_not_modified_total counter\ntkdc_snapshot_not_modified_total %d\n", notMod)
+	if s.follower != nil {
+		fs := s.follower.Stats()
+		writeGauge("tkdc_fleet_generation_lag", fs.GenerationLag)
+		writeGauge("tkdc_fleet_last_sync_seconds", fs.SinceSync.Seconds())
+		stale := 0
+		if fs.Stale {
+			stale = 1
+		}
+		writeGauge("tkdc_fleet_stale", stale)
+		fmt.Fprintf(&b, "# TYPE tkdc_fleet_polls_total counter\ntkdc_fleet_polls_total %d\n", fs.Polls)
+		fmt.Fprintf(&b, "# TYPE tkdc_fleet_syncs_total counter\ntkdc_fleet_syncs_total %d\n", fs.Applied)
+		fmt.Fprintf(&b, "# TYPE tkdc_fleet_failures_total counter\ntkdc_fleet_failures_total %d\n", fs.Failures)
+		fmt.Fprintf(&b, "# TYPE tkdc_fleet_rejected_total counter\ntkdc_fleet_rejected_total %d\n", fs.Rejected)
+	}
 	if s.flight != nil {
 		fs := s.flight.Snapshot()
 		fmt.Fprintf(&b, "# TYPE tkdc_traces_total counter\ntkdc_traces_total %d\n", fs.Traced)
@@ -511,6 +618,20 @@ func (s *Server) expvarSnapshot() map[string]any {
 			"drift_probes":        st.DriftProbes,
 			"last_retrain_reason": st.LastRetrainReason,
 			"last_retrain_ns":     int64(st.LastRetrainDuration),
+		}
+	}
+	if s.follower != nil {
+		fs := s.follower.Stats()
+		out["fleet"] = map[string]any{
+			"leader_url":         fs.LeaderURL,
+			"leader_generation":  fs.LeaderGeneration,
+			"applied_generation": fs.AppliedGeneration,
+			"generation_lag":     fs.GenerationLag,
+			"last_sync_seconds":  fs.SinceSync.Seconds(),
+			"stale":              fs.Stale,
+			"syncs":              fs.Applied,
+			"failures":           fs.Failures,
+			"rejected":           fs.Rejected,
 		}
 	}
 	if s.flight != nil {

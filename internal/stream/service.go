@@ -63,6 +63,13 @@ type Config struct {
 	// ("retrain/gen-N") and is attached to retrains' Train config. Nil
 	// inherits Train.Recorder (telemetry off if that is nil too).
 	Recorder telemetry.Recorder
+
+	// OnSwap, when non-nil, is called after each publish with the new
+	// generation number, from the retrain goroutine. The replication
+	// publisher hooks here to re-encode the snapshot eagerly (off the
+	// follower fetch path); keep it fast — it delays the next trigger
+	// check, never queries.
+	OnSwap func(gen uint64)
 }
 
 // Stats is a coherent view of the streaming lifecycle.
@@ -334,6 +341,9 @@ func (s *Service) retrain(reason string) error {
 		if err := clf.SaveFile(s.cfg.SnapshotPath); err != nil {
 			return err
 		}
+	}
+	if s.cfg.OnSwap != nil {
+		s.cfg.OnSwap(gen)
 	}
 	s.setErr(nil)
 	return nil

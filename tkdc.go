@@ -217,3 +217,11 @@ func TrainDefault(data [][]float64) (*Classifier, error) {
 func Load(r io.Reader) (*Classifier, error) {
 	return core.Load(r)
 }
+
+// LoadFile loads a snapshot file written by Classifier.SaveFile (or the
+// CLI's -save), verifying the SHA-256 recorded in the snapshot frame
+// before deserializing — a torn or corrupted file fails loudly with a
+// checksum error naming the path.
+func LoadFile(path string) (*Classifier, error) {
+	return core.LoadFile(path)
+}
