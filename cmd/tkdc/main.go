@@ -84,7 +84,10 @@ func main() {
 		density   = flag.Bool("density", false, "print density bounds alongside labels")
 		stats     = flag.Bool("stats", false, "print a post-run telemetry summary to stderr")
 		serve     = flag.String("serve", "", "serve HTTP on this address (e.g. :8080) instead of batch-classifying")
-		traceSlow = flag.Duration("trace-slow", 0, "record per-query flight traces (GET /debug/queries, -stats summary) and log queries at least this slow (0 traces without slow-logging)")
+
+		batchWindow = flag.Duration("batch-window", 0, "with -serve: coalesce concurrent /classify rows for up to this long and answer them in one batch pass (0 disables coalescing; try 500us-2ms under concurrent load)")
+		batchMax    = flag.Int("batch-max", server.DefaultBatchMaxRows, "with -serve: flush a coalescing batch once it holds this many rows")
+		traceSlow   = flag.Duration("trace-slow", 0, "record per-query flight traces (GET /debug/queries, -stats summary) and log queries at least this slow (0 traces without slow-logging)")
 
 		streamMode   = flag.Bool("stream", false, "with -serve: accept POST /ingest and retrain in the background")
 		retrainEvery = flag.Int64("retrain-every", 0, "with -stream: retrain after this many newly ingested rows (0 disables)")
@@ -106,6 +109,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tkdc:", err)
 		os.Exit(2)
 	}
+	if err := validateBatch(*batchWindow, *batchMax); err != nil {
+		fmt.Fprintln(os.Stderr, "tkdc:", err)
+		os.Exit(2)
+	}
+	batchOpts := server.BatchOptions{Window: *batchWindow, MaxRows: *batchMax}
 
 	// The slow-log threshold of 0 is meaningful (trace everything, log
 	// nothing), so flag presence — not value — turns the recorder on.
@@ -137,7 +145,7 @@ func main() {
 			staleAfter: *staleAfter,
 			workers:    *workers,
 			seed:       *seed,
-		}, reg, flight)
+		}, reg, flight, batchOpts)
 		return
 	}
 
@@ -224,7 +232,7 @@ func main() {
 			pub = fleet.NewPublisher(svc.Model())
 			svc.Start() // after pub: the hook must see the assignment
 		}
-		runServer(clf, reg, flight, *serve, svc, pub)
+		runServer(clf, reg, flight, *serve, svc, pub, batchOpts)
 		if svc != nil {
 			if err := svc.Close(); err != nil {
 				fail(err)
@@ -270,9 +278,9 @@ func main() {
 // runServer blocks serving HTTP until SIGINT/SIGTERM, then shuts down
 // gracefully. With a non-nil streaming service, the handlers serve its
 // live model and accept ingest; the caller owns the service lifecycle.
-func runServer(clf *tkdc.Classifier, reg *telemetry.Registry, flight *telemetry.FlightRecorder, addr string, svc *tkdc.StreamService, pub *fleet.Publisher) {
+func runServer(clf *tkdc.Classifier, reg *telemetry.Registry, flight *telemetry.FlightRecorder, addr string, svc *tkdc.StreamService, pub *fleet.Publisher, batch server.BatchOptions) {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	serveLoop(addr, logger, server.Options{Registry: reg, Logger: logger, Stream: svc, Flight: flight, Publisher: pub}, clf,
+	serveLoop(addr, logger, server.Options{Registry: reg, Logger: logger, Stream: svc, Flight: flight, Publisher: pub, Batch: batch}, clf,
 		slog.Bool("stream", svc != nil))
 }
 
@@ -288,7 +296,7 @@ type fleetOptions struct {
 // the leader (retrying until the first snapshot lands or the process is
 // interrupted), then serve it while the background poll loop hot-swaps
 // generations underneath the handlers.
-func runFollower(leaderURL, addr string, fo fleetOptions, reg *telemetry.Registry, flight *telemetry.FlightRecorder) {
+func runFollower(leaderURL, addr string, fo fleetOptions, reg *telemetry.Registry, flight *telemetry.FlightRecorder, batch server.BatchOptions) {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	cfg := fleet.FollowerConfig{
 		URL:        leaderURL,
@@ -316,7 +324,7 @@ func runFollower(leaderURL, addr string, fo fleetOptions, reg *telemetry.Registr
 	defer f.Close()
 
 	clf := f.Model().Current()
-	serveLoop(addr, logger, server.Options{Registry: reg, Logger: logger, Flight: flight, Follower: f}, clf,
+	serveLoop(addr, logger, server.Options{Registry: reg, Logger: logger, Flight: flight, Follower: f, Batch: batch}, clf,
 		slog.String("role", "follower"), slog.String("leader", leaderURL))
 }
 
@@ -348,6 +356,9 @@ func serveLoop(addr string, logger *slog.Logger, opts server.Options, clf *tkdc.
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fail(err)
 	}
+	// Shutdown has drained in-flight requests; flush any batch still
+	// coalescing so its waiters get answers before the process exits.
+	handler.Close()
 	logger.Info("shut down")
 }
 
@@ -401,6 +412,23 @@ func validateFlags(train, load, follow, serve string, streamMode bool) error {
 	}
 	if streamMode && serve == "" {
 		return errors.New("-stream requires -serve (ingest arrives over POST /ingest)")
+	}
+	return nil
+}
+
+// validateBatch bounds the batch-engine tuning: the coalescing window
+// is pure added latency for the first row of every batch, so values
+// past 100ms are almost certainly a units mistake (-batch-window 2
+// means 2ns, not 2ms; write 2ms).
+func validateBatch(window time.Duration, maxRows int) error {
+	if window < 0 {
+		return fmt.Errorf("-batch-window must be >= 0 (got %v)", window)
+	}
+	if window > 100*time.Millisecond {
+		return fmt.Errorf("-batch-window %v is past the 100ms sanity cap (every /classify pays it as queueing latency; typical values are 0-2ms)", window)
+	}
+	if maxRows < 1 {
+		return fmt.Errorf("-batch-max must be >= 1 (got %d)", maxRows)
 	}
 	return nil
 }

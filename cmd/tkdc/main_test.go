@@ -4,8 +4,10 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"tkdc"
+	"tkdc/internal/server"
 )
 
 // TestHTTPServerTimeouts pins the serving-mode hardening: every tkdc
@@ -99,5 +101,31 @@ func TestValidateBackend(t *testing.T) {
 	// real default, so the CLI treats empty as a user mistake.
 	if validateBackend("") == nil {
 		t.Error("empty -backend accepted")
+	}
+}
+
+// TestValidateBatch pins the batch-flag guardrails: negative windows
+// and non-positive row caps are rejected, and windows past 100ms are
+// treated as a units mistake (the duration flag parses bare numbers as
+// nanoseconds, so "-batch-window 2" silently means 2ns).
+func TestValidateBatch(t *testing.T) {
+	for _, w := range []time.Duration{0, 500 * time.Microsecond, 2 * time.Millisecond, 100 * time.Millisecond} {
+		if err := validateBatch(w, server.DefaultBatchMaxRows); err != nil {
+			t.Errorf("validateBatch(%v) = %v, want nil", w, err)
+		}
+	}
+	if validateBatch(-time.Millisecond, 64) == nil {
+		t.Error("negative window accepted")
+	}
+	if err := validateBatch(101*time.Millisecond, 64); err == nil {
+		t.Error("window past the sanity cap accepted")
+	} else if !strings.Contains(err.Error(), "100ms") {
+		t.Errorf("cap error %q does not name the cap", err)
+	}
+	if validateBatch(0, 0) == nil {
+		t.Error("zero -batch-max accepted")
+	}
+	if validateBatch(0, -1) == nil {
+		t.Error("negative -batch-max accepted")
 	}
 }

@@ -32,13 +32,21 @@ func (c *Classifier) ClassifyAllDualTree(points [][]float64) ([]Label, error) {
 			return nil, fmt.Errorf("core: query %d: %w", i, err)
 		}
 	}
-	out := make([]Label, len(points))
-	if len(points) == 0 {
-		return out, nil
+	// The group pass works on flat row-major storage (the coalescer's
+	// native format); slice-of-rows callers pay one copy here.
+	flat := make([]float64, 0, len(points)*c.dim)
+	for _, x := range points {
+		flat = append(flat, x...)
 	}
-	idx := make([]int, len(points))
-	for i := range idx {
-		idx[i] = i
+	return c.classifyDualTreeFlat(flat, len(points)), nil
+}
+
+// classifyDualTreeFlat is the dual-tree pass over a validated flat
+// batch. Sampling-backend classifiers have no box-to-box bounds and
+// serve the batch through the per-query sweep instead.
+func (c *Classifier) classifyDualTreeFlat(flat []float64, n int) []Label {
+	if n == 0 {
+		return []Label{}
 	}
 	traced := c.rec.Enabled()
 	var start time.Time
@@ -52,16 +60,21 @@ func (c *Classifier) ClassifyAllDualTree(points [][]float64) ([]Label, error) {
 		// which only the tree backend provides; other backends serve the
 		// batch through the per-query path.
 		c.putEstimator(be)
-		return c.ClassifyAll(points)
+		return c.classifyFlatChecked(flat, n)
 	}
 	defer c.putEstimator(est)
+	out := make([]Label, n)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
 	var tr *telemetry.QueryTrace
 	if traced && c.sink != nil && c.sink.TraceEnabled() {
 		tr = c.sink.StartTrace()
 	}
-	g := &groupClassifier{c: c, est: est, points: points, out: out}
+	g := &groupClassifier{c: c, est: est, flat: flat, dim: c.dim, out: out}
 	g.classify(idx, 0)
-	c.counters.add(int64(len(points)), g.gridHits, g.stats)
+	c.counters.add(int64(n), g.gridHits, g.stats)
 	if traced {
 		lat := time.Since(start)
 		if tr != nil {
@@ -78,7 +91,7 @@ func (c *Classifier) ClassifyAllDualTree(points [][]float64) ([]Label, error) {
 			tr.PointKernels = g.stats.PointKernels
 			tr.BoundKernels = g.stats.BoundKernels
 			tr.Nodes = g.stats.NodesVisited
-			tr.Items = int64(len(points))
+			tr.Items = int64(n)
 			tr.AddStage(telemetry.TraceStage{
 				Name:    "groups/certified",
 				Groups:  g.certGroups,
@@ -94,17 +107,19 @@ func (c *Classifier) ClassifyAllDualTree(points [][]float64) ([]Label, error) {
 			Name:     "dualtree/batch",
 			Duration: lat,
 			Kernels:  g.stats.Kernels(),
-			Items:    int64(len(points)),
+			Items:    int64(n),
 		})
 	}
-	return out, nil
+	return out
 }
 
 // groupClassifier carries the shared state of one dual-tree pass.
+// Queries live in flat row-major storage; row(i) views query i.
 type groupClassifier struct {
 	c        *Classifier
 	est      *densityEstimator
-	points   [][]float64
+	flat     []float64
+	dim      int
 	out      []Label
 	stats    QueryStats
 	gridHits int64
@@ -114,6 +129,11 @@ type groupClassifier struct {
 	certGroups      int64
 	certQueries     int64
 	fallbackQueries int64
+}
+
+// row returns query i as a dim-length view into the flat buffer.
+func (g *groupClassifier) row(i int) []float64 {
+	return g.flat[i*g.dim : (i+1)*g.dim]
 }
 
 // groupLeafSize is the group size at which the pass falls back to
@@ -130,7 +150,7 @@ func (g *groupClassifier) classify(idx []int, depth int) {
 		return
 	}
 	if len(idx) == 1 {
-		g.out[idx[0]] = g.scoreOne(g.points[idx[0]])
+		g.out[idx[0]] = g.scoreOne(g.row(idx[0]))
 		return
 	}
 
@@ -168,7 +188,7 @@ func (g *groupClassifier) classify(idx []int, depth int) {
 	}
 	if hi[dim] == lo[dim] {
 		// All queries identical: one traversal answers them all.
-		label := g.scoreOne(g.points[idx[0]])
+		label := g.scoreOne(g.row(idx[0]))
 		g.certQueries += int64(len(idx) - 1)
 		for _, i := range idx {
 			g.out[i] = label
@@ -180,7 +200,7 @@ func (g *groupClassifier) classify(idx []int, depth int) {
 	split := 0.5 * (lo[dim] + hi[dim])
 	i, j := 0, len(idx)-1
 	for i <= j {
-		if g.points[idx[i]][dim] < split {
+		if g.row(idx[i])[dim] < split {
 			i++
 		} else {
 			idx[i], idx[j] = idx[j], idx[i]
@@ -191,7 +211,7 @@ func (g *groupClassifier) classify(idx []int, depth int) {
 		// Degenerate partition (duplicates piled at one end): fall back
 		// to a rank split.
 		sort.Slice(idx, func(a, b int) bool {
-			return g.points[idx[a]][dim] < g.points[idx[b]][dim]
+			return g.row(idx[a])[dim] < g.row(idx[b])[dim]
 		})
 		i = len(idx) / 2
 	}
@@ -201,7 +221,7 @@ func (g *groupClassifier) classify(idx []int, depth int) {
 
 func (g *groupClassifier) fallback(idx []int) {
 	for _, i := range idx {
-		g.out[i] = g.scoreOne(g.points[i])
+		g.out[i] = g.scoreOne(g.row(i))
 	}
 }
 
@@ -226,10 +246,10 @@ func (g *groupClassifier) scoreOne(x []float64) Label {
 
 func (g *groupClassifier) queryBox(idx []int) (lo, hi []float64) {
 	d := g.c.dim
-	lo = append([]float64(nil), g.points[idx[0]]...)
-	hi = append([]float64(nil), g.points[idx[0]]...)
+	lo = append([]float64(nil), g.row(idx[0])...)
+	hi = append([]float64(nil), g.row(idx[0])...)
 	for _, i := range idx[1:] {
-		p := g.points[i]
+		p := g.row(i)
 		for j := 0; j < d; j++ {
 			if p[j] < lo[j] {
 				lo[j] = p[j]

@@ -1,0 +1,275 @@
+// The batched query engine: /classify rows from concurrent requests
+// are briefly coalesced and executed as one batch pass against a
+// single pinned model generation, then scattered back to the waiting
+// requests. Large batches on the tree backend run the dual-tree group
+// pass (core.ClassifyFlatAuto); everything else runs the bit-identical
+// per-query parallel sweep, so coalescing changes latency shape and
+// work amortization but never answers.
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"tkdc/internal/core"
+	"tkdc/internal/stream"
+	"tkdc/internal/telemetry"
+)
+
+// DefaultBatchMaxRows caps the rows one coalesced flush may carry when
+// BatchOptions leaves MaxRows zero. Reaching the cap flushes
+// immediately, bounding both queue memory and worst-case head-of-line
+// latency for the rows that arrived first.
+const DefaultBatchMaxRows = 4096
+
+// BatchOptions configures the engine.
+type BatchOptions struct {
+	// Window is how long the first row of a forming batch waits for
+	// co-travelers before the batch executes. Zero (the default) runs
+	// every request inline on its own goroutine — no added latency, but
+	// large request bodies still get batch execution (dual-tree or
+	// parallel sweep, selected by size).
+	Window time.Duration
+	// MaxRows flushes a forming batch as soon as it holds this many rows
+	// (DefaultBatchMaxRows if 0).
+	MaxRows int
+	// Disable bypasses the batch engine entirely: /classify executes
+	// through the pre-batching per-request path. It exists as the
+	// baseline leg for latency benchmarks, not for production use.
+	Disable bool
+}
+
+// batchCall is one /classify request's slot in a batch: its rows (flat
+// row-major), how it wants them answered, and the channel its handler
+// waits on. The engine owns the call from submit until done is closed;
+// the flat buffer must stay untouched in between.
+type batchCall struct {
+	ctx     context.Context
+	flat    []float64
+	n, dim  int
+	density bool
+
+	done    chan struct{}
+	labels  []core.Label // label mode result
+	results []core.Result
+	gen     uint64
+	err     error
+}
+
+// batchEngine coalesces classify calls into batches. State machine:
+// idle (empty queue) → filling (first call arms a window timer) →
+// flush (timer fires, MaxRows reached, or Close drains). Whoever
+// flushes — timer goroutine, the submitter that crossed MaxRows, or
+// Close — executes the batch and wakes every waiter; submits after
+// Close run inline so shutdown never strands a request.
+type batchEngine struct {
+	model   *stream.Model
+	reg     *telemetry.Registry
+	window  time.Duration
+	maxRows int
+
+	mu     sync.Mutex
+	queue  []*batchCall
+	rows   int
+	timer  *time.Timer
+	closed bool
+}
+
+func newBatchEngine(model *stream.Model, reg *telemetry.Registry, opts BatchOptions) *batchEngine {
+	maxRows := opts.MaxRows
+	if maxRows <= 0 {
+		maxRows = DefaultBatchMaxRows
+	}
+	return &batchEngine{model: model, reg: reg, window: opts.Window, maxRows: maxRows}
+}
+
+// do routes one request's rows through the engine and blocks until the
+// batch they rode in has executed. The returned generation identifies
+// the model that answered; with a window it is the generation pinned by
+// the whole batch, so co-batched requests always agree.
+func (e *batchEngine) do(ctx context.Context, flat []float64, n, dim int, density bool) *batchCall {
+	c := &batchCall{ctx: ctx, flat: flat, n: n, dim: dim, density: density, done: make(chan struct{})}
+	if e.window <= 0 {
+		e.run([]*batchCall{c})
+		return c
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.run([]*batchCall{c})
+		return c
+	}
+	e.queue = append(e.queue, c)
+	e.rows += n
+	if e.rows >= e.maxRows {
+		batch := e.takeLocked()
+		e.mu.Unlock()
+		e.run(batch)
+	} else {
+		if len(e.queue) == 1 {
+			e.timer = time.AfterFunc(e.window, e.flush)
+		}
+		e.mu.Unlock()
+	}
+	<-c.done
+	return c
+}
+
+// takeLocked claims the forming batch and resets the engine to idle.
+// Callers hold e.mu.
+func (e *batchEngine) takeLocked() []*batchCall {
+	batch := e.queue
+	e.queue = nil
+	e.rows = 0
+	if e.timer != nil {
+		e.timer.Stop()
+		e.timer = nil
+	}
+	return batch
+}
+
+// flush is the window timer's callback. It may lose the race with a
+// MaxRows flush, in which case the queue is already empty.
+func (e *batchEngine) flush() {
+	e.mu.Lock()
+	batch := e.takeLocked()
+	e.mu.Unlock()
+	e.run(batch)
+}
+
+// Close flushes the forming batch and marks the engine closed; calls
+// submitted afterwards execute inline. Safe to call more than once.
+func (e *batchEngine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	batch := e.takeLocked()
+	e.mu.Unlock()
+	e.run(batch)
+}
+
+// run executes one batch against a single pinned model generation and
+// closes every call's done channel. Requests whose context was
+// cancelled while queued are skipped (they error with the context's
+// error and pay no classification work); a call whose rows fail
+// validation errors alone without poisoning its batchmates.
+func (e *batchEngine) run(batch []*batchCall) {
+	if len(batch) == 0 {
+		return
+	}
+	// One View pins one generation for the whole batch: a retrain
+	// hot-swap landing mid-flush cannot split the batch's answers.
+	clf, gen, _ := e.model.View()
+
+	live := batch[:0]
+	for _, c := range batch {
+		c.gen = gen
+		if err := c.ctx.Err(); err != nil {
+			c.err = err
+			close(c.done)
+			continue
+		}
+		// Validate against the pinned classifier (not the one live at
+		// parse time) so dimension mismatches surface per call even if a
+		// swap landed while the call sat in the queue.
+		c.err = clf.ValidateFlat(c.flat, c.n)
+		if c.err != nil {
+			close(c.done)
+			continue
+		}
+		live = append(live, c)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	coalesced := len(live) > 1
+	var rows int64
+	for _, c := range live {
+		rows += int64(c.n)
+	}
+	traced := e.reg.TraceEnabled()
+	var start time.Time
+	if traced {
+		start = time.Now()
+	}
+
+	e.runGroup(clf, filterMode(live, false), false)
+	e.runGroup(clf, filterMode(live, true), true)
+
+	e.reg.RecordBatch(rows, coalesced)
+	if traced {
+		e.reg.RecordSpan(telemetry.Span{
+			Name:     "server/batch",
+			Duration: time.Since(start),
+			Items:    rows,
+		})
+	}
+	for _, c := range live {
+		close(c.done)
+	}
+}
+
+// filterMode selects the calls answered in one execution mode.
+func filterMode(calls []*batchCall, density bool) []*batchCall {
+	out := calls[:0:0]
+	for _, c := range calls {
+		if c.density == density {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// runGroup executes all same-mode calls of a batch as one flat pass and
+// scatters the answers back as subslices of the batch result. A single
+// call executes on its own buffer with no copying.
+func (e *batchEngine) runGroup(clf *core.Classifier, calls []*batchCall, density bool) {
+	if len(calls) == 0 {
+		return
+	}
+	var flat []float64
+	var n int
+	if len(calls) == 1 {
+		flat, n = calls[0].flat, calls[0].n
+	} else {
+		n = 0
+		for _, c := range calls {
+			n += c.n
+		}
+		flat = getFlatBuf()
+		for _, c := range calls {
+			flat = append(flat, c.flat...)
+		}
+		defer putFlatBuf(flat)
+	}
+
+	if density {
+		results, err := clf.ScoreFlat(flat, n)
+		if err != nil {
+			for _, c := range calls {
+				c.err = err
+			}
+			return
+		}
+		off := 0
+		for _, c := range calls {
+			c.results = results[off : off+c.n : off+c.n]
+			off += c.n
+		}
+		return
+	}
+
+	labels, err := clf.ClassifyFlatAuto(flat, n)
+	if err != nil {
+		for _, c := range calls {
+			c.err = err
+		}
+		return
+	}
+	off := 0
+	for _, c := range calls {
+		c.labels = labels[off : off+c.n : off+c.n]
+		off += c.n
+	}
+}

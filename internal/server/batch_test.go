@@ -1,0 +1,524 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tkdc/internal/core"
+	"tkdc/internal/stream"
+	"tkdc/internal/telemetry"
+)
+
+// trainBatchClf trains a small 2-d classifier for engine-level tests,
+// honoring the CI backend matrix (TKDC_TEST_BACKEND).
+func trainBatchClf(t *testing.T, seed int64) *core.Classifier {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	data := make([][]float64, 1200)
+	for i := range data {
+		data[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	cfg := core.DefaultConfig()
+	cfg.S0 = 2000
+	if b := os.Getenv("TKDC_TEST_BACKEND"); b != "" {
+		cfg.Backend = b
+	}
+	clf, err := core.Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clf
+}
+
+// probeRows builds n 2-d probes spanning the dense core and the tails,
+// returned both as rows and in flat row-major form.
+func probeRows(n int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	flat := make([]float64, 0, 2*n)
+	for i := range rows {
+		x := []float64{rng.NormFloat64() * 2, rng.NormFloat64() * 2}
+		rows[i] = x
+		flat = append(flat, x...)
+	}
+	return rows, flat
+}
+
+// TestBatchWindowZeroInline pins the window=0 contract: do() executes
+// the call inline (no timer, no queue) and the answers are bit-identical
+// to per-row Score.
+func TestBatchWindowZeroInline(t *testing.T) {
+	clf := trainBatchClf(t, 31)
+	model := stream.NewModel(clf)
+	e := newBatchEngine(model, telemetry.NewRegistry(), BatchOptions{Window: 0})
+
+	rows, flat := probeRows(16, 32)
+	c := e.do(context.Background(), flat, len(rows), 2, false)
+	if c.err != nil {
+		t.Fatal(c.err)
+	}
+	if c.gen != model.Generation() {
+		t.Fatalf("gen = %d, want %d", c.gen, model.Generation())
+	}
+	for i, x := range rows {
+		want, err := clf.Score(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.labels[i] != want.Label {
+			t.Fatalf("row %d: label %v, want %v", i, c.labels[i], want.Label)
+		}
+	}
+}
+
+// TestBatchCoalescedBitIdentical is the acceptance criterion for the
+// per-query regime: several concurrent calls — mixed label and density
+// mode — coalesce into one flush, and every row's answer is
+// bit-identical to a direct per-row Score call. Runs under both density
+// backends via TKDC_TEST_BACKEND.
+func TestBatchCoalescedBitIdentical(t *testing.T) {
+	clf := trainBatchClf(t, 33)
+	model := stream.NewModel(clf)
+	reg := telemetry.NewRegistry()
+
+	const calls, perCall = 6, 5
+	// MaxRows equals the total so the last submitter flushes the whole
+	// queue deterministically; the hour-long window never fires.
+	e := newBatchEngine(model, reg, BatchOptions{Window: time.Hour, MaxRows: calls * perCall})
+
+	rows := make([][][]float64, calls)
+	flats := make([][]float64, calls)
+	for i := range rows {
+		rows[i], flats[i] = probeRows(perCall, int64(100+i))
+	}
+
+	got := make([]*batchCall, calls)
+	var wg sync.WaitGroup
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = e.do(context.Background(), flats[i], perCall, 2, i%2 == 1)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, c := range got {
+		if c.err != nil {
+			t.Fatalf("call %d: %v", i, c.err)
+		}
+		for j, x := range rows[i] {
+			want, err := clf.Score(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i%2 == 1 {
+				r := c.results[j]
+				if r.Label != want.Label || r.Lower != want.Lower || r.Upper != want.Upper {
+					t.Fatalf("call %d row %d: result %+v, want %+v", i, j, r, want)
+				}
+			} else if c.labels[j] != want.Label {
+				t.Fatalf("call %d row %d: label %v, want %v", i, j, c.labels[j], want.Label)
+			}
+		}
+	}
+
+	snap := reg.Snapshot()
+	if snap.CoalescedQueries != calls*perCall {
+		t.Fatalf("coalesced queries = %d, want %d", snap.CoalescedQueries, calls*perCall)
+	}
+	if snap.Batches != 1 {
+		t.Fatalf("batches = %d, want 1", snap.Batches)
+	}
+}
+
+// TestBatchDualTreeCoalescedMatchesDirect pins set-determinism of the
+// dual-tree regime: a coalesced flush whose combined rows cross
+// DualTreeMinBatch answers identically to one direct call carrying the
+// same rows (both select the dual-tree pass from batch content alone).
+func TestBatchDualTreeCoalescedMatchesDirect(t *testing.T) {
+	if os.Getenv("TKDC_TEST_BACKEND") == core.BackendSampling {
+		t.Skip("dual-tree regime: sampling backend always uses the per-query sweep")
+	}
+	clf := trainBatchClf(t, 35)
+	model := stream.NewModel(clf)
+
+	const calls = 4
+	perCall := core.DualTreeMinBatch / calls
+	total := calls * perCall
+	e := newBatchEngine(model, telemetry.NewRegistry(), BatchOptions{Window: time.Hour, MaxRows: total})
+
+	flats := make([][]float64, calls)
+	all := make([]float64, 0, 2*total)
+	for i := range flats {
+		_, flats[i] = probeRows(perCall, int64(200+i))
+		all = append(all, flats[i]...)
+	}
+
+	got := make([]*batchCall, calls)
+	var wg sync.WaitGroup
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = e.do(context.Background(), flats[i], perCall, 2, false)
+		}(i)
+	}
+	wg.Wait()
+
+	direct := e.do(context.Background(), all, total, 2, false)
+	if direct.err != nil {
+		t.Fatal(direct.err)
+	}
+	// The coalesced flush concatenated the calls in queue order; compare
+	// against the direct answer for the identical concatenation.
+	off := 0
+	for i, c := range got {
+		if c.err != nil {
+			t.Fatalf("call %d: %v", i, c.err)
+		}
+		for j, l := range c.labels {
+			if l != direct.labels[off+j] {
+				t.Fatalf("call %d row %d: coalesced %v != direct %v", i, j, l, direct.labels[off+j])
+			}
+		}
+		off += c.n
+	}
+}
+
+// TestBatchCloseFlushes pins shutdown semantics: Close wakes a queued
+// call before its window expires, and calls submitted after Close
+// execute inline instead of stranding.
+func TestBatchCloseFlushes(t *testing.T) {
+	clf := trainBatchClf(t, 37)
+	model := stream.NewModel(clf)
+	e := newBatchEngine(model, telemetry.NewRegistry(), BatchOptions{Window: time.Hour})
+
+	_, flat := probeRows(3, 41)
+	done := make(chan *batchCall, 1)
+	go func() { done <- e.do(context.Background(), flat, 3, 2, false) }()
+
+	// Wait for the call to queue, then close.
+	for {
+		e.mu.Lock()
+		queued := len(e.queue) == 1
+		e.mu.Unlock()
+		if queued {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	e.Close()
+	select {
+	case c := <-done:
+		if c.err != nil || len(c.labels) != 3 {
+			t.Fatalf("flushed call: err=%v labels=%v", c.err, c.labels)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not flush the queued call")
+	}
+
+	_, flat2 := probeRows(2, 43)
+	c := e.do(context.Background(), flat2, 2, 2, false)
+	if c.err != nil || len(c.labels) != 2 {
+		t.Fatalf("post-Close call: err=%v labels=%v", c.err, c.labels)
+	}
+	e.Close() // idempotent
+}
+
+// TestBatchContextCancelled pins cancellation: a call whose context died
+// while queued errors with the context's error and pays no work, while
+// its batchmates are answered normally.
+func TestBatchContextCancelled(t *testing.T) {
+	clf := trainBatchClf(t, 39)
+	model := stream.NewModel(clf)
+	e := newBatchEngine(model, telemetry.NewRegistry(), BatchOptions{Window: time.Hour, MaxRows: 4})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, deadFlat := probeRows(2, 51)
+	_, liveFlat := probeRows(2, 53)
+
+	var dead *batchCall
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		dead = e.do(ctx, deadFlat, 2, 2, false)
+	}()
+	// The second call crosses MaxRows and flushes both.
+	live := e.do(context.Background(), liveFlat, 2, 2, false)
+	wg.Wait()
+
+	if dead.err != context.Canceled {
+		t.Fatalf("cancelled call err = %v, want context.Canceled", dead.err)
+	}
+	if live.err != nil || len(live.labels) != 2 {
+		t.Fatalf("live call: err=%v labels=%v", live.err, live.labels)
+	}
+}
+
+// TestBatchErrorIsolation pins that one call's bad rows (wrong
+// dimension here) error that call alone without poisoning batchmates.
+func TestBatchErrorIsolation(t *testing.T) {
+	clf := trainBatchClf(t, 43)
+	model := stream.NewModel(clf)
+	e := newBatchEngine(model, telemetry.NewRegistry(), BatchOptions{Window: time.Hour, MaxRows: 4})
+
+	var bad *batchCall
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		bad = e.do(context.Background(), []float64{1, 2, 3}, 1, 3, false)
+	}()
+	_, liveFlat := probeRows(3, 61)
+	live := e.do(context.Background(), liveFlat, 3, 2, false)
+	wg.Wait()
+
+	if bad.err == nil {
+		t.Fatal("3-d rows against a 2-d model: want error")
+	}
+	if live.err != nil || len(live.labels) != 3 {
+		t.Fatalf("live call: err=%v labels=%v", live.err, live.labels)
+	}
+}
+
+// TestServerCoalescingHTTP drives coalescing end to end over HTTP:
+// concurrent /classify requests flush as one batch (triggered by
+// MaxRows so the test is deterministic), every response matches the
+// batching-disabled baseline bit for bit, and the new /metrics counters
+// account for the flush.
+func TestServerCoalescingHTTP(t *testing.T) {
+	clf := trainBatchClf(t, 47)
+	reg := telemetry.NewRegistry()
+	coal := httptest.NewServer(New(clf, Options{
+		Registry: reg,
+		Batch:    BatchOptions{Window: time.Hour, MaxRows: 8},
+	}))
+	defer coal.Close()
+	base := httptest.NewServer(New(clf, Options{
+		Registry: telemetry.NewRegistry(),
+		Batch:    BatchOptions{Disable: true},
+	}))
+	defer base.Close()
+
+	bodies := make([]string, 4)
+	for i := range bodies {
+		rows, _ := probeRows(2, int64(300+i))
+		bodies[i] = fmt.Sprintf(`{"points":[[%v,%v],[%v,%v]]}`,
+			rows[0][0], rows[0][1], rows[1][0], rows[1][1])
+	}
+
+	type labelled struct {
+		Labels []string `json:"labels"`
+	}
+	got := make([]labelled, len(bodies))
+	var wg sync.WaitGroup
+	for i, body := range bodies {
+		wg.Add(1)
+		go func(i int, body string) {
+			defer wg.Done()
+			resp, err := http.Post(coal.URL+"/classify", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d", i, resp.StatusCode)
+				return
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&got[i]); err != nil {
+				t.Error(err)
+			}
+		}(i, body)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for i, body := range bodies {
+		resp, err := http.Post(base.URL+"/classify", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want labelled
+		err = json.NewDecoder(resp.Body).Decode(&want)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got[i].Labels) != len(want.Labels) {
+			t.Fatalf("request %d: %d labels, want %d", i, len(got[i].Labels), len(want.Labels))
+		}
+		for j := range want.Labels {
+			if got[i].Labels[j] != want.Labels[j] {
+				t.Fatalf("request %d row %d: coalesced %q != direct %q", i, j, got[i].Labels[j], want.Labels[j])
+			}
+		}
+	}
+
+	snap := reg.Snapshot()
+	if snap.CoalescedQueries != 8 {
+		t.Fatalf("coalesced queries = %d, want 8", snap.CoalescedQueries)
+	}
+	if snap.Batches != 1 {
+		t.Fatalf("batches = %d, want 1", snap.Batches)
+	}
+	if snap.DirectQueries != 0 {
+		t.Fatalf("direct queries = %d, want 0", snap.DirectQueries)
+	}
+}
+
+// TestClassifyGenerationCoherenceUnderRetrain is the satellite -race
+// hammer: concurrent /classify requests (each repeating one probe row
+// several times) race against retrain hot-swaps through a short
+// coalescing window. Every response must be internally coherent — one
+// pinned generation answered all of its rows, so identical rows in one
+// request always agree — even though different responses may land on
+// different generations.
+func TestClassifyGenerationCoherenceUnderRetrain(t *testing.T) {
+	ts, svc := streamServer(t, Options{Batch: BatchOptions{Window: 200 * time.Microsecond}})
+
+	const workers, repeats, perWorker = 4, 6, 10
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan string, workers)
+	fail := func(msg string) {
+		select {
+		case errs <- msg:
+		default:
+		}
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(700 + w)))
+			for i := 0; i < perWorker; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				x, y := rng.NormFloat64()*2, rng.NormFloat64()*2
+				row := fmt.Sprintf("[%v,%v]", x, y)
+				body := "[" + strings.Repeat(row+",", repeats-1) + row + "]"
+				resp, err := http.Post(ts.URL+"/classify", "application/json", strings.NewReader(body))
+				if err != nil {
+					fail("post: " + err.Error())
+					return
+				}
+				var out struct {
+					Labels     []string `json:"labels"`
+					Generation *uint64  `json:"generation"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil {
+					fail("decode: " + err.Error())
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					fail(fmt.Sprintf("status %d", resp.StatusCode))
+					return
+				}
+				if len(out.Labels) != repeats {
+					fail(fmt.Sprintf("%d labels, want %d", len(out.Labels), repeats))
+					return
+				}
+				if out.Generation == nil {
+					fail("response missing generation")
+					return
+				}
+				for _, l := range out.Labels[1:] {
+					if l != out.Labels[0] {
+						fail(fmt.Sprintf("mixed generations in one response: %v (gen %d)", out.Labels, *out.Generation))
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Drive a few hot-swaps while the hammer runs.
+	rng := rand.New(rand.NewSource(900))
+	for i := 0; i < 3; i++ {
+		rows := make([][]float64, 50)
+		for j := range rows {
+			rows[j] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		}
+		if _, err := svc.Ingest(rows); err != nil {
+			t.Error(err)
+			break
+		}
+		if err := svc.Retrain(); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// BenchmarkServeHandler is the window=0 latency guard's instrument: the
+// "off" leg runs the pre-batching per-request path (Batch.Disable), the
+// "window0" leg runs the batch engine inline. CI gates window0's median
+// ns/op against off — routing single requests through the engine at
+// window=0 must stay within noise of the legacy handler.
+func BenchmarkServeHandler(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	data := make([][]float64, 1200)
+	for i := range data {
+		data[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	cfg := core.DefaultConfig()
+	cfg.S0 = 2000
+	clf, err := core.Train(data, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	legs := []struct {
+		name  string
+		batch BatchOptions
+	}{
+		{"off", BatchOptions{Disable: true}},
+		{"window0", BatchOptions{}},
+	}
+	body := `{"points":[[0.5,-0.25]]}`
+	for _, leg := range legs {
+		b.Run(leg.name, func(b *testing.B) {
+			srv := New(clf, Options{Registry: telemetry.NewRegistry(), Batch: leg.batch})
+			defer srv.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/classify", strings.NewReader(body))
+				req.Header.Set("Content-Type", "application/json")
+				w := httptest.NewRecorder()
+				srv.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					b.Fatalf("status %d: %s", w.Code, w.Body.String())
+				}
+			}
+		})
+	}
+}

@@ -75,6 +75,10 @@ type Options struct {
 	// every server is a valid replication leader (including a follower,
 	// which makes fan-out chains possible).
 	Publisher *fleet.Publisher
+	// Batch configures the batched query engine behind /classify:
+	// coalescing window, flush threshold, or full bypass. The zero value
+	// enables the engine with no coalescing (window 0).
+	Batch BatchOptions
 }
 
 // Server serves classification and observability endpoints over one
@@ -90,6 +94,7 @@ type Server struct {
 	log      *slog.Logger
 	max      int64
 	mux      *http.ServeMux
+	engine   *batchEngine // nil when BatchOptions.Disable bypasses it
 
 	started  time.Time
 	requests atomic.Int64
@@ -143,6 +148,9 @@ func New(clf *core.Classifier, opts Options) *Server {
 	if s.max <= 0 {
 		s.max = DefaultMaxBodyBytes
 	}
+	if !opts.Batch.Disable {
+		s.engine = newBatchEngine(s.model, s.reg, opts.Batch)
+	}
 
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/classify", s.handleClassify)
@@ -170,6 +178,16 @@ func New(clf *core.Classifier, opts Options) *Server {
 		}))
 	})
 	return s
+}
+
+// Close flushes the batch engine's forming batch (no request waits out
+// a window that will never fill) and directs later classify traffic to
+// inline execution. Call it after the HTTP server has stopped accepting
+// connections; safe to call more than once.
+func (s *Server) Close() {
+	if s.engine != nil {
+		s.engine.Close()
+	}
 }
 
 // ServeHTTP dispatches through the logging middleware.
@@ -310,6 +328,49 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST a CSV or JSON body of query rows")
 		return
 	}
+	if s.engine == nil {
+		s.classifyLegacy(w, r)
+		return
+	}
+	flat, n, dim, ok := s.readRowsFlat(w, r)
+	if !ok {
+		return
+	}
+	// The engine answers the whole request against one pinned model
+	// generation; with a coalescing window, against the generation its
+	// batch pinned. The flat buffer belongs to the engine until done.
+	call := s.engine.do(r.Context(), flat, n, dim, wantDensity(r))
+	if call.err != nil {
+		putFlatBuf(flat)
+		writeError(w, http.StatusBadRequest, call.err.Error())
+		return
+	}
+
+	if call.results != nil {
+		results := make([]classifyResult, n)
+		for i, res := range call.results {
+			cr := classifyResult{Label: res.Label.String(), Lower: res.Lower, Estimate: res.Estimate()}
+			if !math.IsInf(res.Upper, 1) {
+				cr.Upper = res.Upper
+			}
+			results[i] = cr
+		}
+		putFlatBuf(flat)
+		writeJSON(w, http.StatusOK, map[string]any{"results": results, "generation": call.gen})
+		return
+	}
+
+	out := make([]string, n)
+	for i, l := range call.labels {
+		out[i] = l.String()
+	}
+	putFlatBuf(flat)
+	writeJSON(w, http.StatusOK, map[string]any{"labels": out, "generation": call.gen})
+}
+
+// classifyLegacy is the pre-batching handler path, kept verbatim behind
+// BatchOptions.Disable as the baseline for latency comparisons.
+func (s *Server) classifyLegacy(w http.ResponseWriter, r *http.Request) {
 	points, ok := s.readRows(w, r)
 	if !ok {
 		return
@@ -346,6 +407,35 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		out[i] = l.String()
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"labels": out})
+}
+
+// readRowsFlat reads and parses a CSV/JSON row body into a pooled flat
+// row-major buffer, writing the error response itself (nil, false means
+// the response is written). On success the caller owns the buffer and
+// must release it with putFlatBuf once the engine is done with it.
+func (s *Server) readRowsFlat(w http.ResponseWriter, r *http.Request) (flat []float64, n, dim int, ok bool) {
+	body := getBodyBuf()
+	defer putBodyBuf(body)
+	if _, err := body.ReadFrom(io.LimitReader(r.Body, s.max+1)); err != nil {
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return nil, 0, 0, false
+	}
+	if int64(body.Len()) > s.max {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", s.max))
+		return nil, 0, 0, false
+	}
+	flat, n, dim, err := parseRowsFlat(r.Header.Get("Content-Type"), body.Bytes(), getFlatBuf())
+	if err != nil {
+		putFlatBuf(flat)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return nil, 0, 0, false
+	}
+	if n == 0 {
+		putFlatBuf(flat)
+		writeError(w, http.StatusBadRequest, "no rows in body")
+		return nil, 0, 0, false
+	}
+	return flat, n, dim, true
 }
 
 // parsePoints decodes the request body: JSON ({"points": [[...]]} or a
@@ -394,11 +484,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST a CSV or JSON body of data rows")
 		return
 	}
-	points, ok := s.readRows(w, r)
+	flat, _, dim, ok := s.readRowsFlat(w, r)
 	if !ok {
 		return
 	}
-	accepted, err := s.svc.Ingest(points)
+	accepted, err := s.svc.IngestFlat(flat, dim)
+	putFlatBuf(flat)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return

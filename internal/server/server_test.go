@@ -105,11 +105,13 @@ func TestClassifyCSV(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d, want 200", resp.StatusCode)
 	}
-	var out map[string][]string
+	var out struct {
+		Labels []string `json:"labels"`
+	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
-	if got := out["labels"]; len(got) != 2 || got[0] != "HIGH" || got[1] != "LOW" {
+	if got := out.Labels; len(got) != 2 || got[0] != "HIGH" || got[1] != "LOW" {
 		t.Fatalf("labels = %v, want [HIGH LOW]", got)
 	}
 }

@@ -95,3 +95,24 @@ func (m *Model) ClassifyAll(queries [][]float64) ([]core.Label, error) {
 func (m *Model) DensityBounds(x []float64, rel float64) (fl, fu float64, err error) {
 	return m.cur.Load().clf.DensityBounds(x, rel)
 }
+
+// ClassifyFlat labels a flat row-major batch against one pinned
+// generation, auto-selecting dual-tree or per-query execution by batch
+// size (core.ClassifyFlatAuto). The returned generation number
+// identifies the classifier that answered every row — a swap landing
+// mid-batch cannot split the batch across generations, because the
+// classifier pointer is loaded exactly once.
+func (m *Model) ClassifyFlat(flat []float64, n int) ([]core.Label, uint64, error) {
+	g := m.cur.Load()
+	out, err := g.clf.ClassifyFlatAuto(flat, n)
+	return out, g.gen, err
+}
+
+// ScoreFlat scores a flat row-major batch against one pinned
+// generation, returning full per-query results and the generation
+// number that produced them.
+func (m *Model) ScoreFlat(flat []float64, n int) ([]core.Result, uint64, error) {
+	g := m.cur.Load()
+	out, err := g.clf.ScoreFlat(flat, n)
+	return out, g.gen, err
+}

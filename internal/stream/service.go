@@ -214,6 +214,12 @@ func (s *Service) Ingest(rows [][]float64) (int, error) {
 	return s.ing.Add(rows)
 }
 
+// IngestFlat is Ingest over rows already in flat row-major form (the
+// server's parse buffer), avoiding per-row slice re-boxing.
+func (s *Service) IngestFlat(flat []float64, dim int) (int, error) {
+	return s.ing.AddFlat(flat, dim)
+}
+
 // Start launches the background retrainer, which checks triggers every
 // CheckInterval and rebuilds off the query path when one fires. Safe to
 // call at most once; Close stops it.
