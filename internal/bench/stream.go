@@ -135,7 +135,78 @@ func StreamLifecycle(opts Options) ([]Table, error) {
 		"handle regimes read through one atomic pointer load; a swap mid-run changes the answers, never the latency")
 
 	t.Fprint(opts.Out)
-	return []Table{t}, nil
+
+	it, err := shardedIngestTable(opts)
+	if err != nil {
+		return nil, err
+	}
+	it.Fprint(opts.Out)
+	return []Table{t, *it}, nil
+}
+
+// shardedIngestTable measures raw ingest throughput — 64-row batches of
+// 2-d rows, no retrains — across concurrent ingester counts for the
+// single-lock reservoir (shards=1) and the lock-striped one
+// (shards=GOMAXPROCS). On a multi-core host the sharded rows should
+// scale near-linearly with ingesters while the single lock stays flat;
+// at GOMAXPROCS=1 the pairs should match, which is the no-regression
+// floor the CI K=1 guard pins.
+func shardedIngestTable(opts Options) (*Table, error) {
+	const batchRows = 64
+	totalRows := opts.scaled(2_000_000, 100_000)
+
+	t := &Table{
+		Title:   "Sharded ingest: concurrent Add throughput by shard count",
+		Columns: []string{"Shards", "Ingesters", "Rows", "Rows/s", "ns/row"},
+	}
+	defaultShards := stream.DefaultShards()
+	shardCounts := []int{1}
+	if defaultShards > 1 {
+		shardCounts = append(shardCounts, defaultShards)
+	}
+	for _, shards := range shardCounts {
+		for _, workers := range []int{1, 4, 8} {
+			ing, err := stream.NewShardedIngestor(100_000, 2, opts.Seed, false, shards)
+			if err != nil {
+				return nil, err
+			}
+			batches := totalRows / (batchRows * workers)
+			if batches < 1 {
+				batches = 1
+			}
+			var wg sync.WaitGroup
+			var firstErr error
+			var errOnce sync.Once
+			start := time.Now()
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					batch := make([][]float64, batchRows)
+					rows := dataset.Gauss(batchRows, 2, opts.Seed+int64(w))
+					copy(batch, rows)
+					for i := 0; i < batches; i++ {
+						if _, err := ing.Add(batch); err != nil {
+							errOnce.Do(func() { firstErr = err })
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			elapsed := time.Since(start).Seconds()
+			if firstErr != nil {
+				return nil, firstErr
+			}
+			rows := float64(ing.Seen())
+			t.AddRow(fmtCount(float64(shards)), fmtCount(float64(workers)), fmtCount(rows),
+				fmtRate(rows/elapsed), fmtRate(elapsed*1e9/rows))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"single-process proxy for concurrent /ingest traffic: each ingester pushes 64-row batches as fast as the lock admits",
+		"shards=1 is the pre-sharding single-mutex path; the sharded rows stripe batches round-robin over GOMAXPROCS reservoirs")
+	return t, nil
 }
 
 // latencyStats summarizes one measured query pass.

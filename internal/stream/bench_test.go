@@ -91,30 +91,100 @@ func BenchmarkIngest(b *testing.B) {
 	}
 }
 
-// BenchmarkIngestBatch measures the per-batch cost of Add across batch
-// sizes — the lock is taken once per batch, and validation now runs
-// before it, so this watches the critical-section cost the ROADMAP's
-// sharded-ingest work will shard. ns/row is reported alongside ns/op.
+// BenchmarkIngestBatch measures batch ingest cost across batch sizes in
+// three configurations, all driven through b.RunParallel so -cpu=1,4,8
+// shows how each scales with concurrent ingesters:
+//
+//   - direct: the unsharded Ingestor — every batch funnels through one
+//     mutex, the pre-sharding baseline. Expect flat-or-worse throughput
+//     as -cpu grows.
+//   - shards=1: ShardedIngestor with K=1, the delegation wrapper. The
+//     CI K=1 guard pins this within 30% of direct.
+//   - sharded: ShardedIngestor with K=DefaultShards — the lock-striped
+//     path that should scale near-linearly until memory bandwidth.
+//
+// ns/row is reported alongside ns/op (batches differ in size).
 func BenchmarkIngestBatch(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
+	type adder interface {
+		Add(rows [][]float64) (int, error)
+	}
 	for _, batch := range []int{1, 64, 1024} {
 		rows := make([][]float64, batch)
 		for i := range rows {
 			rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
 		}
-		b.Run(fmt.Sprintf("rows=%d", batch), func(b *testing.B) {
-			ing, err := NewIngestor(10_000, 2, 1, false)
-			if err != nil {
-				b.Fatal(err)
-			}
+		variants := []struct {
+			name  string
+			build func(b *testing.B) adder
+		}{
+			{"direct", func(b *testing.B) adder {
+				ing, err := NewIngestor(10_000, 2, 1, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return ing
+			}},
+			{"shards=1", func(b *testing.B) adder {
+				s, err := NewShardedIngestor(10_000, 2, 1, false, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return s
+			}},
+			{"sharded", func(b *testing.B) adder {
+				s, err := NewShardedIngestor(10_000, 2, 1, false, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return s
+			}},
+		}
+		for _, v := range variants {
+			b.Run(fmt.Sprintf("rows=%d/%s", batch, v.name), func(b *testing.B) {
+				ing := v.build(b)
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						if _, err := ing.Add(rows); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/row")
+			})
+		}
+	}
+}
+
+// BenchmarkSample watches the drift probe's sampling cost: k probe rows
+// drawn from an n-row reservoir. The sparse Fisher–Yates keeps the
+// allocation O(k) — before it, every probe allocated an n-entry index
+// slice (800 KB per probe at n=100k) regardless of k.
+func BenchmarkSample(b *testing.B) {
+	const n, dim = 100_000, 2
+	ing, err := NewIngestor(n, dim, 1, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	flat := make([]float64, n*dim)
+	for i := range flat {
+		flat[i] = rng.NormFloat64()
+	}
+	if _, err := ing.AddFlat(flat, dim); err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{64, 768} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := ing.Add(rows); err != nil {
-					b.Fatal(err)
+				if s := ing.Sample(k, int64(i)); s == nil {
+					b.Fatal("nil sample")
 				}
 			}
-			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/row")
 		})
 	}
 }

@@ -229,6 +229,12 @@ func TestFlightRecorderHammer(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// At GOMAXPROCS=1 the six retrains can finish before the scheduler
+	// ever runs a reader; yield until at least one query has traced so
+	// the assertions below exercise a real interleaving.
+	for deadline := time.Now().Add(10 * time.Second); flight.Snapshot().Traced == 0 && time.Now().Before(deadline); {
+		time.Sleep(time.Millisecond)
+	}
 	stop.Store(true)
 	wg.Wait()
 	if err := svc.Close(); err != nil {

@@ -23,6 +23,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"tkdc/internal/points"
 )
@@ -44,11 +45,15 @@ type Ingestor struct {
 	mu       sync.Mutex
 	window   bool
 	capacity int
-	dim      int // 0 until the first row fixes it
-	rng      *rand.Rand
-	buf      *points.Store // allocated once the dimensionality is known
-	n        int           // rows currently held (≤ capacity)
-	seen     int64         // rows ever ingested
+	// dim is 0 until the first row fixes it. It is atomic so the Add
+	// fast path can read the expected row width for pre-lock validation
+	// without acquiring (and immediately releasing) the ingest mutex;
+	// the only writers run under mu.
+	dim  atomic.Int64
+	rng  *rand.Rand
+	buf  *points.Store // allocated once the dimensionality is known
+	n    int           // rows currently held (≤ capacity)
+	seen int64         // rows ever ingested
 }
 
 // NewIngestor builds an ingestor holding at most capacity rows. dim
@@ -65,10 +70,10 @@ func NewIngestor(capacity, dim int, seed int64, window bool) (*Ingestor, error) 
 	ing := &Ingestor{
 		window:   window,
 		capacity: capacity,
-		dim:      dim,
 		rng:      rand.New(rand.NewSource(seed)),
 	}
 	if dim > 0 {
+		ing.dim.Store(int64(dim))
 		ing.buf = points.New(capacity, dim)
 	}
 	return ing, nil
@@ -77,10 +82,10 @@ func NewIngestor(capacity, dim int, seed int64, window bool) (*Ingestor, error) 
 // Add ingests a batch of rows. The batch is validated in full first —
 // consistent dimensionality, finite coordinates — and rejected whole on
 // the first bad row, mirroring the /classify request semantics; nothing
-// is ingested on error. Validation runs before the ingest lock is taken,
-// so a malformed (or merely large) batch never stalls concurrent
-// ingesters while it is being checked. Returns the number of rows
-// ingested.
+// is ingested on error. Validation runs before the ingest lock is taken
+// (the expected row width is one atomic load, not a mutex acquire), so a
+// malformed (or merely large) batch never stalls concurrent ingesters
+// while it is being checked. Returns the number of rows ingested.
 func (i *Ingestor) Add(rows [][]float64) (int, error) {
 	if len(rows) == 0 {
 		return 0, nil
@@ -89,11 +94,30 @@ func (i *Ingestor) Add(rows [][]float64) (int, error) {
 	if dim == 0 {
 		dim = len(rows[0])
 	}
-	for r, row := range rows {
-		if err := checkRow(row, dim, r); err != nil {
-			return 0, err
-		}
+	if err := validateRows(rows, dim); err != nil {
+		return 0, err
 	}
+	return i.addPrevalidated(rows, dim)
+}
+
+// AddFlat ingests rows already in flat row-major form: flat holds
+// len(flat)/dim rows of width dim. Validation and atomicity match Add.
+func (i *Ingestor) AddFlat(flat []float64, dim int) (int, error) {
+	want := i.Dim()
+	if want == 0 {
+		want = dim
+	}
+	if err := validateFlat(flat, dim, want); err != nil {
+		return 0, err
+	}
+	return i.addFlatPrevalidated(flat, dim)
+}
+
+// addPrevalidated applies a batch whose rows have already passed
+// validateRows against dim, taking the ingest lock once. checkDim
+// re-verifies the width under the lock — a concurrent first batch may
+// have fixed the dimensionality since validation ran.
+func (i *Ingestor) addPrevalidated(rows [][]float64, dim int) (int, error) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	if err := i.checkDim(dim); err != nil {
@@ -105,30 +129,15 @@ func (i *Ingestor) Add(rows [][]float64) (int, error) {
 	return len(rows), nil
 }
 
-// AddFlat ingests rows already in flat row-major form: flat holds
-// len(flat)/dim rows of width dim. Validation and atomicity match Add.
-func (i *Ingestor) AddFlat(flat []float64, dim int) (int, error) {
-	if dim <= 0 {
-		return 0, fmt.Errorf("stream: dimension %d must be positive", dim)
-	}
-	if len(flat)%dim != 0 {
-		return 0, fmt.Errorf("stream: buffer length %d is not a multiple of dimension %d", len(flat), dim)
-	}
-	want := i.Dim()
-	if want == 0 {
-		want = dim
-	}
-	n := len(flat) / dim
-	for r := 0; r < n; r++ {
-		if err := checkRow(flat[r*dim:(r+1)*dim], want, r); err != nil {
-			return 0, err
-		}
-	}
+// addFlatPrevalidated is addPrevalidated over a flat row-major buffer
+// that already passed validateFlat.
+func (i *Ingestor) addFlatPrevalidated(flat []float64, dim int) (int, error) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	if err := i.checkDim(dim); err != nil {
 		return 0, err
 	}
+	n := len(flat) / dim
 	for r := 0; r < n; r++ {
 		i.ingestRow(flat[r*dim : (r+1)*dim])
 	}
@@ -139,8 +148,38 @@ func (i *Ingestor) AddFlat(flat []float64, dim int) (int, error) {
 // lock still matches the ingestor's row width — a concurrent first batch
 // may have fixed the dimensionality in between. Callers hold i.mu.
 func (i *Ingestor) checkDim(dim int) error {
-	if i.dim != 0 && i.dim != dim {
-		return fmt.Errorf("stream: batch has dimension %d, want %d", dim, i.dim)
+	if d := int(i.dim.Load()); d != 0 && d != dim {
+		return fmt.Errorf("stream: batch has dimension %d, want %d", dim, d)
+	}
+	return nil
+}
+
+// validateRows checks every row for the expected width and finite
+// coordinates, rejecting the batch whole on the first bad row.
+func validateRows(rows [][]float64, dim int) error {
+	for r, row := range rows {
+		if err := checkRow(row, dim, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateFlat checks a flat row-major buffer: dim divides the length
+// and every row of width dim matches the expected width want with
+// finite coordinates.
+func validateFlat(flat []float64, dim, want int) error {
+	if dim <= 0 {
+		return fmt.Errorf("stream: dimension %d must be positive", dim)
+	}
+	if len(flat)%dim != 0 {
+		return fmt.Errorf("stream: buffer length %d is not a multiple of dimension %d", len(flat), dim)
+	}
+	n := len(flat) / dim
+	for r := 0; r < n; r++ {
+		if err := checkRow(flat[r*dim:(r+1)*dim], want, r); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -162,9 +201,9 @@ func checkRow(row []float64, dim, idx int) error {
 
 // ingestRow applies one validated row. Callers hold i.mu.
 func (i *Ingestor) ingestRow(row []float64) {
-	if i.dim == 0 {
-		i.dim = len(row)
-		i.buf = points.New(i.capacity, i.dim)
+	if i.dim.Load() == 0 {
+		i.dim.Store(int64(len(row)))
+		i.buf = points.New(i.capacity, len(row))
 	}
 	i.seen++
 	if i.n < i.capacity {
@@ -196,44 +235,103 @@ func (i *Ingestor) Snapshot() (*points.Store, int64) {
 	if i.n == 0 {
 		return nil, i.seen
 	}
-	out := points.New(i.n, i.dim)
-	if i.window && i.n == i.capacity {
-		head := int(i.seen % int64(i.capacity)) // slot of the oldest row
-		k := copy(out.Data, i.buf.Data[head*i.dim:])
-		copy(out.Data[k:], i.buf.Data[:head*i.dim])
-	} else {
-		copy(out.Data, i.buf.Data[:i.n*i.dim])
-	}
+	dim := int(i.dim.Load())
+	out := points.New(i.n, dim)
+	i.copyNewestLocked(out.Data, i.n)
 	return out, i.seen
+}
+
+// copyNewestLocked copies the newest m held rows into dst in arrival
+// order (oldest of the m first). In reservoir mode slot order is the
+// only order there is, so m must equal n; in window mode any suffix of
+// the arrival order can be taken. Callers hold i.mu and size dst to
+// m*dim.
+func (i *Ingestor) copyNewestLocked(dst []float64, m int) {
+	dim := int(i.dim.Load())
+	if i.window && i.n == i.capacity {
+		// Full ring: the slot of the oldest held row is seen mod cap, so
+		// arrival rank r lives at slot (head+r) mod cap. The newest m rows
+		// are ranks n-m .. n-1, a wrapped contiguous run.
+		head := int(i.seen % int64(i.capacity))
+		start := (head + i.n - m) % i.capacity
+		if start+m <= i.capacity {
+			copy(dst, i.buf.Data[start*dim:(start+m)*dim])
+			return
+		}
+		k := copy(dst, i.buf.Data[start*dim:])
+		copy(dst[k:], i.buf.Data[:(m-(i.capacity-start))*dim])
+		return
+	}
+	copy(dst, i.buf.Data[(i.n-m)*dim:i.n*dim])
 }
 
 // Sample copies at most k uniformly drawn rows of the current sample
 // into a fresh store, using a private generator seeded with seed so the
 // draw is reproducible and does not perturb reservoir eviction. It is
 // the cheap input to the drift probe. Returns nil while empty.
+//
+// The draw is a sparse Fisher–Yates: only the k displaced slots are
+// tracked (in a map), so a k-row probe over an n-row sample allocates
+// O(k) instead of the O(n) index permutation it used to materialize —
+// see BenchmarkSample. The emitted rows are identical to the dense
+// shuffle's for any given seed.
 func (i *Ingestor) Sample(k int, seed int64) *points.Store {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	if i.n == 0 || k < 1 {
 		return nil
 	}
+	dim := int(i.dim.Load())
 	if k >= i.n {
-		out := points.New(i.n, i.dim)
-		copy(out.Data, i.buf.Data[:i.n*i.dim])
+		out := points.New(i.n, dim)
+		copy(out.Data, i.buf.Data[:i.n*dim])
 		return out
 	}
 	rng := rand.New(rand.NewSource(seed))
-	idx := make([]int, i.n)
-	for j := range idx {
-		idx[j] = j
-	}
-	out := points.New(k, i.dim)
-	for j := 0; j < k; j++ {
-		l := j + rng.Intn(i.n-j)
-		idx[j], idx[l] = idx[l], idx[j]
-		copy(out.Row(j), i.buf.Row(idx[j]))
-	}
+	out := points.New(k, dim)
+	j := 0
+	sampleSlots(rng, i.n, k, func(slot int) {
+		copy(out.Row(j), i.buf.Row(slot))
+		j++
+	})
 	return out
+}
+
+// sampleSlots visits k distinct uniformly drawn slots of [0, n), k ≤ n,
+// in draw order. It runs the first k steps of a Fisher–Yates shuffle,
+// tracking only displaced slots: a dense map of the whole index space
+// is never built, so the allocation cost is O(k) however large n is.
+// For draws dense enough that the map would cost more than the
+// permutation it avoids, it falls back to the classic array shuffle.
+// Both paths consume rng identically (one Intn per draw) and emit the
+// same slots for the same seed.
+func sampleSlots(rng *rand.Rand, n, k int, visit func(slot int)) {
+	if k*4 >= n {
+		idx := make([]int, n)
+		for j := range idx {
+			idx[j] = j
+		}
+		for j := 0; j < k; j++ {
+			l := j + rng.Intn(n-j)
+			idx[j], idx[l] = idx[l], idx[j]
+			visit(idx[j])
+		}
+		return
+	}
+	displaced := make(map[int]int, 2*k)
+	slotAt := func(pos int) int {
+		if v, ok := displaced[pos]; ok {
+			return v
+		}
+		return pos
+	}
+	for j := 0; j < k; j++ {
+		l := j + rng.Intn(n-j)
+		sj, sl := slotAt(j), slotAt(l)
+		displaced[l] = sj
+		delete(displaced, j) // position j is never probed again
+		visit(sl)
+	}
 }
 
 // Seen returns the total number of rows ever ingested.
@@ -250,11 +348,11 @@ func (i *Ingestor) Len() int {
 	return i.n
 }
 
-// Dim returns the row width, or 0 before the first row arrives.
+// Dim returns the row width, or 0 before the first row arrives. It is
+// one atomic load — the Add fast path reads it before validating a
+// batch, so it must not (and does not) touch the ingest mutex.
 func (i *Ingestor) Dim() int {
-	i.mu.Lock()
-	defer i.mu.Unlock()
-	return i.dim
+	return int(i.dim.Load())
 }
 
 // Capacity returns the sample bound.

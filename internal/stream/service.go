@@ -22,6 +22,13 @@ type Config struct {
 	// Seed drives reservoir eviction and the drift probe; ingestion and
 	// retraining are deterministic for a fixed seed and batch sequence.
 	Seed int64
+	// Shards lock-stripes the ingest path over this many independent
+	// reservoirs, merged deterministically at snapshot time (see
+	// ShardedIngestor). 0 and 1 both mean one shard — the unsharded code
+	// path, bit-identical to earlier releases and to batch training via
+	// the determinism bridge. Samples are reproducible for a fixed shard
+	// count and batch→shard assignment, but differ across shard counts.
+	Shards int
 
 	// RetrainEvery retrains after this many newly ingested rows
 	// (0 disables the count trigger).
@@ -89,6 +96,11 @@ type Stats struct {
 	Window     bool
 	Pending    int64
 
+	// Shards is the ingest shard count (1 = unsharded); ShardFill holds
+	// each shard's occupancy as a fraction of capacity.
+	Shards    int
+	ShardFill []float64
+
 	// Retrains counts completed retrains (publishes); LastError is the
 	// most recent background retrain or snapshot failure, "" when clean.
 	Retrains  int64
@@ -113,7 +125,7 @@ type Stats struct {
 type Service struct {
 	cfg      Config
 	trainCfg core.Config
-	ing      *Ingestor
+	ing      *ShardedIngestor
 	model    *Model
 	rec      telemetry.Recorder
 
@@ -161,6 +173,13 @@ func NewService(initial *core.Classifier, cfg Config) (*Service, error) {
 	if cfg.RetrainEvery < 0 || cfg.Capacity < 0 {
 		return nil, fmt.Errorf("stream: negative Capacity or RetrainEvery")
 	}
+	if cfg.Shards == 0 {
+		// Default to one shard, not GOMAXPROCS: the unsharded path is
+		// bit-identical to earlier releases, so existing deployments and
+		// the determinism bridge are unaffected unless sharding is asked
+		// for explicitly.
+		cfg.Shards = 1
+	}
 	trainCfg := cfg.Train
 	if trainCfg.P == 0 {
 		// An unset Train config (P is required, so 0 means "not
@@ -175,7 +194,7 @@ func NewService(initial *core.Classifier, cfg Config) (*Service, error) {
 		rec = telemetry.Nop{}
 	}
 
-	ing, err := NewIngestor(cfg.Capacity, initial.Dim(), cfg.Seed, cfg.Window)
+	ing, err := NewShardedIngestor(cfg.Capacity, initial.Dim(), cfg.Seed, cfg.Window, cfg.Shards)
 	if err != nil {
 		return nil, err
 	}
@@ -204,7 +223,7 @@ func NewService(initial *core.Classifier, cfg Config) (*Service, error) {
 func (s *Service) Model() *Model { return s.model }
 
 // Ingestor exposes the bounded sample, mainly for tests and stats.
-func (s *Service) Ingestor() *Ingestor { return s.ing }
+func (s *Service) Ingestor() *ShardedIngestor { return s.ing }
 
 // Ingest validates and ingests a batch of rows, returning how many were
 // accepted. The batch is rejected whole on the first malformed row.
@@ -373,6 +392,8 @@ func (s *Service) Stats() Stats {
 		SampleSize: s.ing.Len(),
 		Capacity:   s.ing.Capacity(),
 		Window:     s.ing.WindowMode(),
+		Shards:     s.ing.Shards(),
+		ShardFill:  s.ing.ShardFills(),
 		Retrains:   s.retrains.Load(),
 
 		DriftScore:          math.Float64frombits(s.driftScore.Load()),

@@ -15,6 +15,12 @@ type Model = stream.Model
 // deterministic seeded reservoir, or a sliding window of the newest rows.
 type Ingestor = stream.Ingestor
 
+// ShardedIngestor lock-stripes ingest over K independent per-shard
+// reservoirs and merges them into one uniform sample at snapshot time.
+// K=1 is the unsharded Ingestor code path, bit-identical samples
+// included.
+type ShardedIngestor = stream.ShardedIngestor
+
 // StreamService owns the streaming model lifecycle: ingest batches into
 // the bounded sample, background retrains on count/age/drift triggers,
 // atomic swaps through a Model handle, and optional on-disk snapshots.
@@ -35,6 +41,18 @@ func NewModel(clf *Classifier) *Model { return stream.NewModel(clf) }
 func NewIngestor(capacity, dim int, seed int64, window bool) (*Ingestor, error) {
 	return stream.NewIngestor(capacity, dim, seed, window)
 }
+
+// NewShardedIngestor builds a lock-striped sample: shards independent
+// reservoirs (seed ⊕ shard id each) merged deterministically at
+// Snapshot. shards == 0 picks DefaultIngestShards(); shards == 1 is
+// bit-identical to NewIngestor.
+func NewShardedIngestor(capacity, dim int, seed int64, window bool, shards int) (*ShardedIngestor, error) {
+	return stream.NewShardedIngestor(capacity, dim, seed, window, shards)
+}
+
+// DefaultIngestShards is the shard count a ShardedIngestor uses when
+// built with shards == 0: GOMAXPROCS clamped to a sane range.
+func DefaultIngestShards() int { return stream.DefaultShards() }
 
 // NewStreamService wraps an initial trained classifier in a streaming
 // lifecycle. Call Start to begin background retraining and Close on
